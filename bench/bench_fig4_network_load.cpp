@@ -1,0 +1,153 @@
+// Fig. 4: network load toward central components vs. network size.
+//
+// Sweep the fabric size (ports = switches × 48) under a heavy-hitter
+// workload (HH ratio 5%, set re-drawn once per minute — the paper's
+// production observation) and measure bytes/minute crossing the management
+// network toward the collector/harvester for:
+//   FARM           — selection-centric: seeds report only on HH changes.
+//   sFlow (1 ms)   — per-port records at FARM-equivalent detection time.
+//   sFlow (10 ms)  — the reduced-load configuration.
+//   Sonata (75%)   — reduced stream after the best-case aggregation.
+//
+// We simulate a 5 s slice and extrapolate to per-minute rates (workload
+// churn is scaled accordingly); the paper reports up to 10000× savings.
+#include <cstdio>
+#include <memory>
+
+#include "baselines/sflow.h"
+#include "baselines/sonata.h"
+#include "farm/harvesters.h"
+#include "farm/system.h"
+#include "farm/usecases.h"
+
+using namespace farm;
+using sim::Duration;
+using sim::TimePoint;
+
+namespace {
+
+constexpr double kSliceSeconds = 5.0;
+constexpr double kExtrapolate = 60.0 / kSliceSeconds;
+
+struct Fabric {
+  sim::Engine engine;
+  net::SpineLeaf sl;
+  std::vector<std::unique_ptr<asic::SwitchChassis>> chassis;
+  std::vector<asic::SwitchChassis*> by_node;
+
+  explicit Fabric(int leaves)
+      : sl(net::build_spine_leaf(
+            {.spines = 4, .leaves = leaves, .hosts_per_leaf = 4})) {
+    by_node.assign(sl.topo.node_count(), nullptr);
+    for (auto n : sl.topo.switches()) {
+      asic::SwitchConfig cfg;  // 48 ports each
+      chassis.push_back(std::make_unique<asic::SwitchChassis>(
+          engine, n, sl.topo.node(n).name, cfg, n));
+      by_node[n] = chassis.back().get();
+    }
+  }
+  int total_ports() const {
+    return static_cast<int>(sl.topo.switches().size()) * 48;
+  }
+  net::FlowSchedule workload(std::uint64_t seed) {
+    util::Rng rng(seed);
+    // HH set re-drawn every "minute" — scaled into the slice.
+    return net::heavy_hitter_workload(
+        sl.topo, rng, 0.05, 600e6,
+        Duration::from_seconds(60.0 / kExtrapolate),
+        Duration::from_seconds(kSliceSeconds));
+  }
+};
+
+double farm_bytes_per_minute(int leaves) {
+  core::FarmSystemConfig config;
+  config.topology = {.spines = 4, .leaves = leaves, .hosts_per_leaf = 4};
+  core::FarmSystem farm(config);
+  core::HhHarvester harv(farm.engine(), "hh");
+  farm.bus().attach_harvester("hh", harv);
+  const auto& hh = core::use_case("Heavy hitter (HH)");
+  farm.install_task(
+      {"hh", hh.source, hh.machines,
+       {{"threshold", almanac::Value(std::int64_t{500'000})},
+        {"hitterAction",
+         almanac::Value(almanac::ActionValue{asic::RuleAction::kCount, 0})}}});
+  util::Rng rng(1);
+  farm.load_traffic(net::heavy_hitter_workload(
+      farm.topology(), rng, 0.05, 600e6,
+      Duration::from_seconds(60.0 / kExtrapolate),
+      Duration::from_seconds(kSliceSeconds)));
+  auto before = farm.bus().upstream().bytes;
+  farm.run_for(Duration::from_seconds(kSliceSeconds));
+  return static_cast<double>(farm.bus().upstream().bytes - before) *
+         kExtrapolate;
+}
+
+double sflow_bytes_per_minute(int leaves, Duration period) {
+  Fabric f(leaves);
+  baselines::SflowCollector collector(f.engine);
+  std::vector<std::unique_ptr<baselines::SflowAgent>> agents;
+  for (auto n : f.sl.topo.switches()) {
+    agents.push_back(std::make_unique<baselines::SflowAgent>(
+        f.engine, *f.by_node[n], collector,
+        baselines::SflowConfig{.probe_period = period}));
+    agents.back()->start();
+  }
+  asic::TrafficDriver driver(f.engine, f.sl.topo, f.by_node, f.workload(1),
+                             Duration::ms(1));
+  driver.start();
+  f.engine.run_for(Duration::from_seconds(kSliceSeconds));
+  return static_cast<double>(collector.ingress().bytes) * kExtrapolate;
+}
+
+double sonata_bytes_per_minute(int leaves) {
+  Fabric f(leaves);
+  baselines::SonataProcessor processor(f.engine, baselines::SonataConfig{});
+  processor.start();
+  std::vector<std::unique_ptr<baselines::SonataQuery>> queries;
+  for (auto n : f.sl.topo.switches()) {
+    queries.push_back(std::make_unique<baselines::SonataQuery>(
+        f.engine, *f.by_node[n], processor, net::Filter{},
+        baselines::SonataConfig{}));
+    queries.back()->start();
+  }
+  asic::TrafficDriver driver(f.engine, f.sl.topo, f.by_node, f.workload(1),
+                             Duration::ms(1));
+  driver.start();
+  f.engine.run_for(Duration::from_seconds(kSliceSeconds));
+  return static_cast<double>(processor.ingress().bytes) * kExtrapolate;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 4 — management-network load toward central components\n");
+  std::printf("(HH ratio 5%%, churn 1/min; bytes per minute, extrapolated "
+              "from a %.0f s slice)\n\n",
+              kSliceSeconds);
+  std::printf("%8s %14s %14s %14s %14s\n", "ports", "FARM", "sFlow(1ms)",
+              "sFlow(10ms)", "Sonata(75%)");
+  bool shape_ok = true;
+  double prev_farm = 0, prev_sflow1 = 0;
+  for (int leaves : {4, 8, 16, 32}) {
+    int ports = (leaves + 4) * 48;
+    double farm_b = farm_bytes_per_minute(leaves);
+    double sflow1 = sflow_bytes_per_minute(leaves, Duration::ms(1));
+    double sflow10 = sflow_bytes_per_minute(leaves, Duration::ms(10));
+    double sonata = sonata_bytes_per_minute(leaves);
+    std::printf("%8d %14.3g %14.3g %14.3g %14.3g\n", ports, farm_b, sflow1,
+                sflow10, sonata);
+    // Shape checks: FARM orders of magnitude below sFlow(1ms); sFlow grows
+    // linearly while FARM stays nearly flat.
+    shape_ok &= farm_b * 100 < sflow1;
+    if (prev_farm > 0) {
+      double farm_growth = farm_b / prev_farm;
+      double sflow_growth = sflow1 / prev_sflow1;
+      shape_ok &= farm_growth < sflow_growth * 1.2;
+    }
+    prev_farm = farm_b;
+    prev_sflow1 = sflow1;
+  }
+  std::printf("\nFARM << sFlow(1ms) with flatter growth: %s\n",
+              shape_ok ? "HOLDS" : "VIOLATED");
+  return shape_ok ? 0 : 1;
+}

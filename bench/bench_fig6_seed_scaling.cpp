@@ -1,0 +1,124 @@
+// Fig. 6: switch CPU load and polling accuracy vs. number of collocated
+// seeds, for the HH task (cheap handler) and the CPU-intensive ML task
+// (support-vector-regression step executed via exec() on every poll).
+//
+// The ML exec cost is *measured*, not assumed: a real double-precision
+// matrix-matrix multiply (64×64 — the paper's 1000×1000 scaled to this
+// substrate's 4-core switch CPUs) is timed once and charged per exec().
+//
+// Panels (as in the paper):
+//   (a) HH, 1 ms accuracy       (b) HH, 10 ms accuracy
+//   (c) ML, 1 ms, 1 iteration   (d) ML, 10 ms, 10 iterations, seeds
+//       partitioned 10:1 (one deployed instance stands in for ten logical
+//       seeds — the paper's mitigation for context-switch thrash).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "farm/harvesters.h"
+#include "farm/system.h"
+#include "runtime/soil.h"
+
+using namespace farm;
+using sim::Duration;
+
+namespace {
+
+// Measures one 64×64 dgemm on this machine.
+Duration measure_matmul() {
+  constexpr int N = 64;
+  static std::vector<double> a(N * N, 1.0), b(N * N, 2.0), c(N * N, 0.0);
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < N; ++i)
+    for (int k = 0; k < N; ++k) {
+      double aik = a[i * N + k];
+      for (int j = 0; j < N; ++j) c[i * N + j] += aik * b[k * N + j];
+    }
+  auto t1 = std::chrono::steady_clock::now();
+  volatile double sink = c[0];
+  (void)sink;
+  return Duration::ns(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
+
+std::string task_source(bool ml, double ival, int iters) {
+  std::string src = "machine T { place all;\n  poll s = Poll { .ival = " +
+                    std::to_string(ival) + ", .what = port ANY };\n";
+  src += "  list prev;\n  state run {\n";
+  src += "    util (res) { if (res.vCPU >= 0.01) then { return res.vCPU; } }\n";
+  src += "    when (s as st) do {\n";
+  if (ml) {
+    src += "      long i = 0;\n      while (i < " + std::to_string(iters) +
+           ") { exec(\"svr-step\"); i = i + 1; }\n";
+  } else {
+    src += "      long total = 0;\n      long i = 0;\n"
+           "      while (i < stats_size(st)) { total = total + "
+           "stats_bytes(st, i); i = i + 1; }\n";
+  }
+  src += "    }\n  }\n}\n";
+  return src;
+}
+
+struct Panel {
+  const char* title;
+  bool ml;
+  double ival;
+  int iters;
+  int partition;  // logical seeds per deployed instance
+  std::vector<int> seed_counts;
+};
+
+void run_panel(const Panel& panel, Duration matmul_cost) {
+  std::printf("%s\n", panel.title);
+  std::printf("  %8s %12s %14s\n", "seeds", "CPU load(%)", "poll acc.(%)");
+  for (int logical : panel.seed_counts) {
+    int deployed = std::max(1, logical / panel.partition);
+    sim::Engine engine;
+    asic::SwitchConfig cfg;
+    cfg.n_ifaces = 48;
+    cfg.cpu_cores = 4;
+    asic::SwitchChassis sw(engine, 0, "sw", cfg, 0);
+    runtime::Soil soil(engine, sw, runtime::SoilConfig{});
+    soil.set_exec_cost([matmul_cost](const std::string&) { return matmul_cost; });
+    auto image = runtime::MachineImage::from_source(
+        task_source(panel.ml, panel.ival, panel.iters), "T");
+    for (int i = 0; i < deployed; ++i)
+      soil.deploy({"t" + std::to_string(i), "T", 0}, image, {});
+    auto start = engine.now();
+    auto busy0 = sw.cpu().busy_time();
+    engine.run_for(Duration::ms(1500));
+    std::printf("  %8d %12.1f %14.1f\n", logical,
+                sw.cpu().load_percent(start, busy0),
+                100 * soil.polling_accuracy());
+  }
+}
+
+}  // namespace
+
+int main() {
+  Duration matmul = measure_matmul();
+  std::printf("Fig. 6 — CPU load of collocated seeds (4-core switch CPU; "
+              "ML step = measured %0.3f ms matmul)\n\n",
+              matmul.millis());
+
+  run_panel({"(a) HH task, 1 ms accuracy", false, 0.001, 1, 1,
+             {10, 20, 40, 60, 80, 100}},
+            matmul);
+  run_panel({"(b) HH task, 10 ms accuracy", false, 0.01, 1, 1,
+             {10, 20, 40, 60, 80, 100}},
+            matmul);
+  run_panel({"(c) ML task, 1 ms accuracy, 1 iteration", true, 0.001, 1, 1,
+             {10, 20, 30, 40, 50}},
+            matmul);
+  run_panel({"(d) ML task, 10 ms accuracy, 10 iterations (10:1 partition)",
+             true, 0.01, 10, 10,
+             {50, 100, 150, 200, 250}},
+            matmul);
+
+  std::printf("\nexpected shapes: (a/b) light load, easily >100 seeds at "
+              "10 ms; (c) saturation (≈400%% on 4 cores) with accuracy "
+              "collapse; (d) partitioning restores scalability to 250 "
+              "logical seeds\n");
+  return 0;
+}

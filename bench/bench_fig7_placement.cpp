@@ -1,0 +1,86 @@
+// Fig. 7: global seed placement — utility (a) and runtime (b) of FARM's
+// Algorithm-1 heuristic vs. the commodity MILP solver with two budgets.
+//
+// The paper runs Gurobi with 1 s and 10 min timeouts on up to 10200 seeds
+// across 1040 switches. Our branch-and-bound stand-in lacks Gurobi's
+// sparse-LP machinery, so the "long" budget is scaled to 15 s (results and
+// the deviation are recorded in EXPERIMENTS.md): on small/medium
+// instances it still reaches (near-)optimal incumbents, reproducing the
+// utility parity; on huge instances it degrades to its start heuristic,
+// while FARM's heuristic keeps both utility and runtime — the claim under
+// test.
+#include <cstdio>
+
+#include "placement/generator.h"
+#include "placement/heuristic.h"
+#include "placement/milp_placement.h"
+
+using namespace farm::placement;
+
+int main() {
+  std::printf("Fig. 7 — placement utility & runtime (10 tasks, 2 runs per "
+              "size, 1040 switches at the top end)\n\n");
+  std::printf("%7s %9s | %12s %12s %12s | %9s %9s %9s\n", "seeds", "switches",
+              "MU(FARM)", "MU(MILP-1s)", "MU(MILP-15s)", "t(FARM)",
+              "t(1s)", "t(15s)");
+
+  struct Size {
+    int switches;
+    int seeds_per_task;
+  };
+  bool shape_ok = true;
+  bool parity_seen = false;
+  for (Size size : {Size{8, 2}, Size{16, 6}, Size{120, 48}, Size{520, 240},
+                    Size{1040, 510}, Size{1040, 1020}}) {
+    double mu_farm = 0, mu_1s = 0, mu_long = 0;
+    double t_farm = 0, t_1s = 0, t_long = 0;
+    const int kRuns = 2;
+    int total_seeds = 10 * size.seeds_per_task;
+    for (int run = 0; run < kRuns; ++run) {
+      GeneratorSpec spec;
+      spec.n_switches = size.switches;
+      spec.n_tasks = 10;
+      spec.seeds_per_task = size.seeds_per_task;
+      spec.seed = static_cast<std::uint64_t>(run + 1) * 77;
+      auto problem = generate_problem(spec);
+
+      auto farm_result = solve_heuristic(problem);
+      mu_farm += farm_result.total_utility / kRuns;
+      t_farm += farm_result.solve_seconds / kRuns;
+
+      auto milp_1s =
+          solve_milp_placement(problem, {.timeout_seconds = 1});
+      mu_1s += milp_1s.total_utility / kRuns;
+      t_1s += milp_1s.solve_seconds / kRuns;
+
+      auto milp_long =
+          solve_milp_placement(problem, {.timeout_seconds = 15});
+      mu_long += milp_long.total_utility / kRuns;
+      t_long += milp_long.solve_seconds / kRuns;
+
+      // Sanity: every produced placement satisfies (C1)-(C4).
+      if (!validate_placement(problem, farm_result).empty() ||
+          !validate_placement(problem, milp_1s).empty() ||
+          !validate_placement(problem, milp_long).empty()) {
+        std::printf("INVALID placement produced at %d seeds!\n", total_seeds);
+        return 1;
+      }
+    }
+    std::printf("%7d %9d | %12.0f %12.0f %12.0f | %8.2fs %8.2fs %8.2fs\n",
+                total_seeds, size.switches, mu_farm, mu_1s, mu_long, t_farm,
+                t_1s, t_long);
+    // Shape: FARM's utility ≥ the 1 s solver run (ties allowed at sizes the
+    // exact solver still finishes), with runtime in the ~1 s class.
+    shape_ok &= mu_farm >= 0.99 * mu_1s;
+    shape_ok &= t_farm < 30;
+    // Parity with the long-budget solver at sizes it can actually solve
+    // (the "similar utility to Gurobi(10 min)" end of Fig. 7a).
+    if (mu_long > 1.02 * mu_1s || (total_seeds <= 100 && mu_long > 0))
+      parity_seen |= mu_farm >= 0.85 * mu_long;
+  }
+  std::printf("\nFARM ≥ MILP(1s) utility at matched runtime: %s\n",
+              shape_ok ? "HOLDS" : "VIOLATED");
+  std::printf("FARM ≈ long-budget solver where it solves exactly: %s\n",
+              parity_seen ? "HOLDS" : "VIOLATED");
+  return shape_ok && parity_seen ? 0 : 1;
+}

@@ -1,0 +1,76 @@
+// Fig. 9: the CPU cost of the soil's poll-request aggregation, for seeds
+// running as threads inside the soil vs. as separate processes.
+//
+// Aggregating trades PCIe bandwidth (Fig. 8) for soil CPU: thread-seeds
+// receive the shared snapshot in place (negligible), process-seeds each
+// need a fan-out copy over IPC. Paper: thread-based seeds perform equally
+// well with or without aggregation, even beyond 100 seeds; process-based
+// seeds pay visibly for aggregation.
+#include <cstdio>
+#include <string>
+
+#include "farm/system.h"
+#include "runtime/soil.h"
+
+using namespace farm;
+using sim::Duration;
+
+namespace {
+
+constexpr const char* kPollTask = R"ALM(
+machine P {
+  place all;
+  poll s = Poll { .ival = 0.01, .what = dstIP "10.9.9.9" };
+  long acc = 0;
+  state run {
+    util (res) { if (res.vCPU >= 0.001) then { return res.vCPU; } }
+    when (s as st) do { acc = acc + stats_size(st); }
+  }
+}
+)ALM";
+
+double soil_cpu_percent(int seeds, bool threads, bool aggregate) {
+  sim::Engine engine;
+  asic::SwitchConfig cfg;
+  cfg.n_ifaces = 48;
+  cfg.cpu_cores = 4;
+  asic::SwitchChassis sw(engine, 0, "sw", cfg, 0);
+  runtime::SoilConfig scfg;
+  scfg.seeds_as_threads = threads;
+  scfg.aggregate_polls = aggregate;
+  runtime::Soil soil(engine, sw, scfg);
+  auto image = runtime::MachineImage::from_source(kPollTask, "P");
+  for (int i = 0; i < seeds; ++i)
+    soil.deploy({"t" + std::to_string(i), "P", 0}, image, {});
+  auto start = engine.now();
+  auto busy0 = sw.cpu().busy_time();
+  engine.run_for(Duration::sec(1));
+  return sw.cpu().load_percent(start, busy0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 9 — soil CPU cost of aggregation: threads vs processes "
+              "(shared flow subject @10 ms — the bus never binds, isolating the soil CPU)\n\n");
+  std::printf("%6s | %12s %12s | %12s %12s\n", "seeds", "thr+agg(%)",
+              "thr-noagg(%)", "proc+agg(%)", "proc-noagg(%)");
+  bool threads_flat = true, processes_pay = false;
+  for (int seeds : {1, 10, 25, 50, 100, 150}) {
+    double ta = soil_cpu_percent(seeds, true, true);
+    double tn = soil_cpu_percent(seeds, true, false);
+    double pa = soil_cpu_percent(seeds, false, true);
+    double pn = soil_cpu_percent(seeds, false, false);
+    std::printf("%6d | %12.2f %12.2f | %12.2f %12.2f\n", seeds, ta, tn, pa,
+                pn);
+    // Threads: aggregation ~free (within 25% of no-agg).
+    if (seeds >= 50 && ta > tn * 1.25 + 1) threads_flat = false;
+    // Processes: aggregation visibly costs CPU at scale.
+    if (seeds >= 100 && pa > ta * 1.5) processes_pay = true;
+  }
+  bool shape = threads_flat && processes_pay;
+  std::printf("\nthread-seeds unaffected by aggregation while process-seeds "
+              "pay for fan-out: %s\n",
+              shape ? "HOLDS" : "VIOLATED");
+  return shape ? 0 : 1;
+}

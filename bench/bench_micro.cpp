@@ -1,0 +1,136 @@
+// Component microbenchmarks (google-benchmark): the hot paths whose cost
+// assumptions the simulation rests on — Almanac front-end, the seed VM,
+// filter matching, TCAM lookup, the DES engine, and the simplex solver.
+#include <benchmark/benchmark.h>
+
+#include "almanac/interp.h"
+#include "almanac/parser.h"
+#include "asic/tcam.h"
+#include "farm/usecases.h"
+#include "lp/simplex.h"
+#include "sim/engine.h"
+
+namespace {
+
+using namespace farm;
+
+void BM_ParseHeavyHitter(benchmark::State& state) {
+  const auto& src = core::use_case("Heavy hitter (HH)").source;
+  for (auto _ : state) {
+    auto program = almanac::parse_program(src);
+    benchmark::DoNotOptimize(program);
+  }
+}
+BENCHMARK(BM_ParseHeavyHitter);
+
+void BM_CompileMachine(benchmark::State& state) {
+  const auto& uc = core::use_case("Hier. HH");
+  auto program = almanac::parse_program(uc.source);
+  for (auto _ : state) {
+    auto cm = almanac::compile_machine(program, "HHH");
+    benchmark::DoNotOptimize(cm);
+  }
+}
+BENCHMARK(BM_CompileMachine);
+
+void BM_SeedVmPollHandler(benchmark::State& state) {
+  // Executes the HH observe handler over a 48-entry stats snapshot.
+  const auto& uc = core::use_case("Heavy hitter (HH)");
+  auto program = almanac::parse_program(uc.source);
+  auto cm = almanac::compile_machine(program, "HH");
+  almanac::Interpreter interp(cm, nullptr);
+  almanac::Env env;
+  for (const auto* v : cm.vars) {
+    if (v->init && !v->trigger)
+      env.define(v->name, interp.eval(*v->init, env));
+    else if (!v->trigger)
+      env.define(v->name, almanac::Interpreter::default_value(v->type));
+  }
+  almanac::StatsValue stats;
+  for (int i = 0; i < 48; ++i)
+    stats.entries->push_back(
+        {"port:" + std::to_string(i), i, 0, 1000, 1'000'00});
+  const auto* observe = cm.state("observe");
+  const auto& actions = observe->events[0]->actions;
+  for (auto _ : state) {
+    almanac::Env scope(&env);
+    scope.define("stats", almanac::Value(stats));
+    try {
+      interp.exec(actions, scope);
+    } catch (const almanac::EvalError&) {
+    }
+  }
+}
+BENCHMARK(BM_SeedVmPollHandler);
+
+void BM_FilterMatch(benchmark::State& state) {
+  auto f = net::Filter::conj(
+      net::Filter::src_ip(*net::Prefix::parse("10.0.0.0/8")),
+      net::Filter::disj(net::Filter::l4_port(443), net::Filter::l4_port(80)));
+  net::PacketHeader h{*net::Ipv4::parse("10.1.2.3"),
+                      *net::Ipv4::parse("11.0.0.1"),
+                      40000,
+                      443,
+                      net::Proto::kTcp,
+                      {},
+                      1400};
+  for (auto _ : state) benchmark::DoNotOptimize(f.matches(h));
+}
+BENCHMARK(BM_FilterMatch);
+
+void BM_TcamLookup256Rules(benchmark::State& state) {
+  asic::Tcam tcam(512, 512);
+  for (int i = 0; i < 256; ++i) {
+    asic::TcamRule r;
+    r.pattern = net::Filter::l4_port(static_cast<std::uint16_t>(i + 1));
+    r.priority = i;
+    tcam.add_rule(r);
+  }
+  net::PacketHeader h{*net::Ipv4::parse("10.1.2.3"),
+                      *net::Ipv4::parse("11.0.0.1"),
+                      40000,
+                      128,
+                      net::Proto::kTcp,
+                      {},
+                      1400};
+  for (auto _ : state) benchmark::DoNotOptimize(tcam.match(h));
+}
+BENCHMARK(BM_TcamLookup256Rules);
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int i = 0; i < 10'000; ++i)
+      engine.schedule_after(sim::Duration::us(i), [] {});
+    engine.run();
+    benchmark::DoNotOptimize(engine.executed_events());
+  }
+}
+BENCHMARK(BM_EngineEventThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_SimplexRedistributionLp(benchmark::State& state) {
+  // Representative per-switch redistribution LP: 10 seeds × 4 resources.
+  for (auto _ : state) {
+    lp::Model m;
+    std::vector<lp::VarId> t(10);
+    for (int s = 0; s < 10; ++s) {
+      lp::VarId r0 = m.add_continuous("r", 0, 8, 0);
+      lp::VarId r3 = m.add_continuous("p", 0, 8, 0);
+      t[static_cast<std::size_t>(s)] = m.add_continuous("t", 0, 100, 1);
+      m.add_constraint("epi1", {{t[static_cast<std::size_t>(s)], 1}, {r0, -1}},
+                       lp::Sense::kLe, 0);
+      m.add_constraint("epi2", {{t[static_cast<std::size_t>(s)], 1}, {r3, -1}},
+                       lp::Sense::kLe, 0);
+    }
+    std::vector<lp::Term> cap;
+    for (int s = 0; s < 10; ++s) cap.push_back({s * 3, 1.0});
+    m.add_constraint("cap", cap, lp::Sense::kLe, 8);
+    auto sol = lp::solve_lp(m);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK(BM_SimplexRedistributionLp);
+
+}  // namespace
+
+BENCHMARK_MAIN();

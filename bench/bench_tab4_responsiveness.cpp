@@ -1,0 +1,191 @@
+// Tab. 4: time to recognize a heavy hitter.
+//
+// The same elephant flow is injected into the same 20-switch fabric; we
+// measure how long each system needs to identify it:
+//   FARM   — seeds poll port counters at 1 ms and detect on-switch; the
+//            reported time includes the (out-of-band) report reaching the
+//            harvester, so FARM's *local* reaction is even faster.
+//   sFlow  — agents export counters every 100 ms; the central collector
+//            needs two samples of the hot port.
+//   Sonata — mirrored traffic is reduced per 1 s window and evaluated in
+//            2 s Spark micro-batches.
+//   Planck/Helios — specialized systems we do not re-implement; their
+//            published numbers are printed for context (marked [lit]).
+//
+// Paper: FARM 1 ms, Planck 4 ms, Helios 77 ms, sFlow 100 ms, Sonata 3427 ms.
+#include <cstdio>
+#include <memory>
+
+#include "baselines/sflow.h"
+#include "baselines/sonata.h"
+#include "farm/harvesters.h"
+#include "farm/system.h"
+#include "farm/usecases.h"
+
+using namespace farm;
+using sim::Duration;
+using sim::TimePoint;
+
+namespace {
+
+constexpr double kFlowStartSec = 0.5;
+constexpr double kFlowRate = 800e6;
+
+// The HH machine with a 1 ms polling interval (the configuration the paper
+// evaluates for responsiveness).
+std::string hh_source_1ms() {
+  std::string src = core::use_case("Heavy hitter (HH)").source;
+  auto pos = src.find(".ival = 0.01");
+  src.replace(pos, std::string(".ival = 0.01").size(), ".ival = 0.001");
+  return src;
+}
+
+net::FlowSchedule elephant(const core::FarmSystem& farm_like,
+                           const net::SpineLeaf& sl) {
+  (void)farm_like;
+  net::FlowSchedule sched;
+  net::FlowSpec f;
+  f.key = {*sl.topo.node(sl.hosts_by_leaf[0][0]).address,
+           *sl.topo.node(sl.hosts_by_leaf[8][0]).address, 40000, 443,
+           net::Proto::kTcp};
+  f.rate_bps = kFlowRate;
+  f.packet_bytes = 1400;
+  sched.add_forever(TimePoint::origin() + Duration::from_seconds(kFlowStartSec),
+                    f);
+  return sched;
+}
+
+double farm_detection_ms() {
+  core::FarmSystemConfig config;
+  config.topology = {.spines = 4, .leaves = 16, .hosts_per_leaf = 2};
+  core::FarmSystem farm(config);
+  core::HhHarvester harv(farm.engine(), "hh");
+  farm.bus().attach_harvester("hh", harv);
+  farm.install_task(
+      {"hh", hh_source_1ms(), {"HH"},
+       {{"threshold", almanac::Value(std::int64_t{50'000})},
+        {"hitterAction",
+         almanac::Value(almanac::ActionValue{asic::RuleAction::kRateLimit,
+                                             1e6})}}});
+  farm.load_traffic(elephant(farm, farm.fabric()));
+  farm.run_for(Duration::sec(3));
+  for (std::size_t i = 0; i < harv.report_times.size(); ++i) {
+    double t = harv.report_times[i].seconds();
+    if (t > kFlowStartSec) return (t - kFlowStartSec) * 1000;
+  }
+  return -1;
+}
+
+double sflow_detection_ms(Duration probe_period) {
+  sim::Engine engine;
+  auto sl = net::build_spine_leaf({.spines = 4, .leaves = 16,
+                                   .hosts_per_leaf = 2});
+  std::vector<std::unique_ptr<asic::SwitchChassis>> chassis;
+  std::vector<asic::SwitchChassis*> by_node(sl.topo.node_count(), nullptr);
+  for (auto n : sl.topo.switches()) {
+    asic::SwitchConfig cfg;
+    cfg.n_ifaces =
+        std::max<int>(8, static_cast<int>(sl.topo.neighbors(n).size()));
+    chassis.push_back(std::make_unique<asic::SwitchChassis>(
+        engine, n, sl.topo.node(n).name, cfg, n));
+    by_node[n] = chassis.back().get();
+  }
+  baselines::SflowCollector collector(engine);
+  // Same selectivity as FARM: 50 KB per ms ⇒ scale to the probe period.
+  collector.set_hh_threshold(
+      static_cast<std::uint64_t>(50'000 * probe_period.millis()));
+  std::vector<std::unique_ptr<baselines::SflowAgent>> agents;
+  for (auto n : sl.topo.switches()) {
+    agents.push_back(std::make_unique<baselines::SflowAgent>(
+        engine, *by_node[n], collector,
+        baselines::SflowConfig{.probe_period = probe_period}));
+    agents.back()->start();
+  }
+  net::FlowSchedule sched;
+  net::FlowSpec f;
+  f.key = {*sl.topo.node(sl.hosts_by_leaf[0][0]).address,
+           *sl.topo.node(sl.hosts_by_leaf[8][0]).address, 40000, 443,
+           net::Proto::kTcp};
+  f.rate_bps = kFlowRate;
+  f.packet_bytes = 1400;
+  sched.add_forever(TimePoint::origin() + Duration::from_seconds(kFlowStartSec),
+                    f);
+  asic::TrafficDriver driver(engine, sl.topo, by_node, sched,
+                             Duration::ms(1));
+  driver.start();
+  engine.run_for(Duration::sec(4));
+  for (const auto& d : collector.detections()) {
+    double t = d.at.seconds();
+    if (t > kFlowStartSec) return (t - kFlowStartSec) * 1000;
+  }
+  return -1;
+}
+
+double sonata_detection_ms() {
+  sim::Engine engine;
+  auto sl = net::build_spine_leaf({.spines = 4, .leaves = 16,
+                                   .hosts_per_leaf = 2});
+  std::vector<std::unique_ptr<asic::SwitchChassis>> chassis;
+  std::vector<asic::SwitchChassis*> by_node(sl.topo.node_count(), nullptr);
+  for (auto n : sl.topo.switches()) {
+    asic::SwitchConfig cfg;
+    cfg.n_ifaces =
+        std::max<int>(8, static_cast<int>(sl.topo.neighbors(n).size()));
+    chassis.push_back(std::make_unique<asic::SwitchChassis>(
+        engine, n, sl.topo.node(n).name, cfg, n));
+    by_node[n] = chassis.back().get();
+  }
+  baselines::SonataProcessor processor(engine, baselines::SonataConfig{});
+  // 50 KB/ms over the 1 s window.
+  processor.set_hh_threshold(50'000'000);
+  processor.start();
+  std::vector<std::unique_ptr<baselines::SonataQuery>> queries;
+  for (auto n : sl.topo.switches()) {
+    queries.push_back(std::make_unique<baselines::SonataQuery>(
+        engine, *by_node[n], processor, net::Filter{},
+        baselines::SonataConfig{}));
+    queries.back()->start();
+  }
+  net::FlowSchedule sched;
+  net::FlowSpec f;
+  f.key = {*sl.topo.node(sl.hosts_by_leaf[0][0]).address,
+           *sl.topo.node(sl.hosts_by_leaf[8][0]).address, 40000, 443,
+           net::Proto::kTcp};
+  f.rate_bps = kFlowRate;
+  f.packet_bytes = 1400;
+  sched.add_forever(TimePoint::origin() + Duration::from_seconds(kFlowStartSec),
+                    f);
+  asic::TrafficDriver driver(engine, sl.topo, by_node, sched,
+                             Duration::ms(1));
+  driver.start();
+  engine.run_for(Duration::sec(10));
+  for (const auto& d : processor.detections()) {
+    double t = d.at.seconds();
+    if (t > kFlowStartSec) return (t - kFlowStartSec) * 1000;
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Tab. 4 — HH detection time (one 800 Mbps elephant, 20-switch "
+              "fabric)\n\n");
+  double farm_ms = farm_detection_ms();
+  double sflow_ms = sflow_detection_ms(Duration::ms(100));
+  double sonata_ms = sonata_detection_ms();
+  std::printf("%-10s %-6s %12s %14s\n", "System", "Type", "measured(ms)",
+              "paper(ms)");
+  std::printf("%-10s %-6s %12.1f %14s\n", "FARM", "G", farm_ms, "1");
+  std::printf("%-10s %-6s %12s %14s\n", "Planck", "S", "4 [lit]", "4");
+  std::printf("%-10s %-6s %12s %14s\n", "Helios", "S", "77 [lit]", "77");
+  std::printf("%-10s %-6s %12.1f %14s\n", "sFlow", "G", sflow_ms, "100");
+  std::printf("%-10s %-6s %12.1f %14s\n", "Sonata", "G", sonata_ms, "3427");
+  bool shape_ok = farm_ms > 0 && sflow_ms > 10 * farm_ms / 3 &&
+                  sonata_ms > 5 * sflow_ms;
+  std::printf("\nordering FARM << sFlow << Sonata: %s (speedup over Sonata: "
+              "%.0fx)\n",
+              shape_ok ? "HOLDS" : "VIOLATED",
+              farm_ms > 0 ? sonata_ms / farm_ms : 0.0);
+  return shape_ok ? 0 : 1;
+}

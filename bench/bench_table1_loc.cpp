@@ -1,0 +1,76 @@
+// Table I: lines of code for the 16 use cases (+ the inherited HHH row).
+//
+// Seed LoC is counted from the shipped Almanac sources (non-blank,
+// non-comment). Harvester LoC is counted from the real C++ harvester
+// classes in src/farm/harvesters.h, delimited by [harvester:<name>]
+// markers; use cases whose global logic is pure collection share the
+// generic collecting harvester.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "farm/usecases.h"
+
+namespace {
+
+// Counts non-blank lines between the named marker and [/harvester].
+int harvester_loc(const std::string& header_text, const std::string& name) {
+  std::string begin = "// [harvester:" + name + "]";
+  auto pos = header_text.find(begin);
+  if (pos == std::string::npos) return -1;
+  auto end = header_text.find("// [/harvester]", pos);
+  std::istringstream in(header_text.substr(pos + begin.size(),
+                                           end - pos - begin.size()));
+  std::string line;
+  int loc = 0;
+  while (std::getline(in, line)) {
+    auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    ++loc;
+  }
+  return loc;
+}
+
+std::string harvester_of(const std::string& use_case) {
+  static const std::map<std::string, std::string> dedicated = {
+      {"Heavy hitter (HH)", "Heavy hitter (HH)"},
+      {"Hier. HH (inherited)", "Hier. HH"},
+      {"Hier. HH", "Hier. HH"},
+      {"DDoS", "DDoS"},
+      {"Link failure", "Link failure"},
+  };
+  auto it = dedicated.find(use_case);
+  return it == dedicated.end() ? "generic" : it->second;
+}
+
+}  // namespace
+
+int main() {
+  std::ifstream f(FARM_HARVESTERS_HEADER);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  std::string header = buf.str();
+  if (header.empty()) {
+    std::fprintf(stderr, "cannot read %s\n", FARM_HARVESTERS_HEADER);
+    return 1;
+  }
+
+  std::printf("Table I — use cases implemented in FARM, lines of code\n");
+  std::printf("(paper reports 7-126 seed LoC / 5-35 harvester LoC; our\n");
+  std::printf(" concrete syntax differs, the succinctness claim is what\n");
+  std::printf(" reproduces)\n\n");
+  std::printf("%-24s %10s %10s\n", "Use case", "Seed LoC", "Harv. LoC");
+  int total_seed = 0;
+  for (const auto& uc : farm::core::all_use_cases()) {
+    int h = harvester_loc(header, harvester_of(uc.name));
+    std::printf("%-24s %10d %10d\n", uc.name.c_str(), uc.seed_loc, h);
+    total_seed += uc.seed_loc;
+  }
+  std::printf("\n%zu use cases, %d total seed LoC (avg %.0f per task)\n",
+              farm::core::all_use_cases().size(), total_seed,
+              static_cast<double>(total_seed) /
+                  static_cast<double>(farm::core::all_use_cases().size()));
+  return 0;
+}

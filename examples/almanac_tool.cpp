@@ -1,0 +1,139 @@
+// almanac_tool — developer CLI for the Almanac toolchain.
+//
+//   almanac_tool check <file.alm>            parse + compile + analyze
+//   almanac_tool xml <file.alm>              emit the XML seed image (§V-A d)
+//   almanac_tool dump-usecases <dir>         write the Table I programs as
+//                                            .alm files into <dir>
+//
+// `check` runs the full seeder front-end on every machine in the program:
+// compilation (inheritance, util restrictions), utility analysis
+// (constraints C^s / utility u^s as polynomials), and poll analysis
+// (subjects + interval functions) — the exact information the placement
+// optimizer consumes.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "almanac/analysis.h"
+#include "almanac/xml.h"
+#include "farm/usecases.h"
+
+using namespace farm;
+
+namespace {
+
+int check(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  try {
+    auto program = almanac::parse_program(buf.str());
+    std::printf("%zu function(s), %zu machine(s)\n",
+                program.functions.size(), program.machines.size());
+    for (const auto& mdecl : program.machines) {
+      auto cm = almanac::compile_machine(program, mdecl.name);
+      std::printf("\nmachine %s%s\n", cm.name.c_str(),
+                  mdecl.extends.empty()
+                      ? ""
+                      : (" extends " + mdecl.extends).c_str());
+      std::printf("  states: ");
+      for (const auto& st : cm.states)
+        std::printf("%s%s ", st.name.c_str(),
+                    st.name == cm.initial_state ? "*" : "");
+      std::printf("\n");
+      for (const auto& st : cm.states) {
+        if (!st.util) continue;
+        auto ua = almanac::analyze_utility(*st.util);
+        std::printf("  util[%s]: %zu variant(s)\n", st.name.c_str(),
+                    ua.variants.size());
+        for (const auto& v : ua.variants) {
+          for (const auto& c : v.constraints)
+            std::printf("    C: %s >= 0\n", c.to_string().c_str());
+          std::printf("    u: min of %zu term(s)", v.util_min_terms.size());
+          if (!v.util_min_terms.empty())
+            std::printf(" — first: %s",
+                        v.util_min_terms[0].to_string().c_str());
+          std::printf("\n");
+        }
+      }
+      almanac::Env env;
+      almanac::Interpreter interp(cm, nullptr);
+      for (const auto* v : cm.vars)
+        if (v->init && !v->trigger) {
+          try {
+            env.define(v->name, interp.eval(*v->init, env));
+          } catch (const almanac::EvalError&) {
+          }
+        }
+      for (const auto& pa :
+           almanac::analyze_polls(cm, env, {1, 128, 32, 1})) {
+        std::printf("  %s %s: subjects=%zu, ival%s = %s\n",
+                    to_string(pa.ttype).c_str(), pa.var.c_str(),
+                    pa.subjects.size(), pa.inv_linear ? "(r)" : "",
+                    pa.inv_linear ? ("1/(" + pa.inv_ival.to_string() + ")").c_str()
+                                  : "constant");
+      }
+    }
+    std::printf("\nOK\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
+int emit_xml(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  try {
+    auto program = almanac::parse_program(buf.str());
+    std::printf("%s\n", almanac::to_xml(program).c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
+int dump(const std::string& dir) {
+  std::vector<core::UseCase> all = core::all_use_cases();
+  for (const auto& ext : core::extension_use_cases()) all.push_back(ext);
+  for (const auto& uc : all) {
+    std::string name = uc.name;
+    for (auto& c : name)
+      if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+    std::string path = dir + "/" + name + ".alm";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << uc.source;
+    std::printf("wrote %s (%d LoC)\n", path.c_str(), uc.seed_loc);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::string(argv[1]) == "check") return check(argv[2]);
+  if (argc == 3 && std::string(argv[1]) == "xml") return emit_xml(argv[2]);
+  if (argc == 3 && std::string(argv[1]) == "dump-usecases")
+    return dump(argv[2]);
+  std::fprintf(stderr,
+               "usage: almanac_tool check <file.alm>\n"
+               "       almanac_tool xml <file.alm>\n"
+               "       almanac_tool dump-usecases <dir>\n");
+  return 2;
+}

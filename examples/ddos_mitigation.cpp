@@ -1,0 +1,78 @@
+// DDoS mitigation scenario (the intro's motivating workload).
+//
+// A 40-source volumetric attack floods one victim host. The DDoS task's
+// seeds watch per-prefix byte counters, escalate to probing when volume
+// spikes, and — once enough distinct sources are seen — install a local
+// rate-limit on the victim prefix while reporting the source list to the
+// harvester, which raises a global alarm when several ingress switches
+// report independently. The example prints goodput at the victim before
+// and after mitigation kicks in.
+//
+//   $ ./ddos_mitigation
+#include <cstdio>
+
+#include "farm/harvesters.h"
+#include "farm/system.h"
+#include "farm/usecases.h"
+#include "net/traffic.h"
+
+using namespace farm;
+
+int main() {
+  core::FarmSystemConfig config;
+  config.topology = {.spines = 2, .leaves = 4, .hosts_per_leaf = 6};
+  core::FarmSystem farm(config);
+
+  core::DdosHarvester harvester(farm.engine(), "ddos");
+  harvester.global_alarm_switches = 2;
+  farm.bus().attach_harvester("ddos", harvester);
+
+  // The victim lives in rack 1 (prefix 10.1.0.0/16).
+  net::NodeId victim_host = farm.fabric().hosts_by_leaf[1][0];
+  net::Ipv4 victim = *farm.topology().node(victim_host).address;
+
+  const core::UseCase& ddos = core::use_case("DDoS");
+  farm.install_task({
+      .name = "ddos",
+      .source = ddos.source,
+      .machines = ddos.machines,
+      .externals = {{"victimPrefix", almanac::Value(std::string("10.1.0.0/16"))},
+                    {"byteThreshold", almanac::Value(std::int64_t{500'000})},
+                    {"sourceThreshold", almanac::Value(std::int64_t{10})}},
+  });
+
+  // Background mice plus the attack starting at t = 1 s.
+  util::Rng rng(7);
+  net::FlowSchedule schedule = net::background_traffic(
+      farm.topology(), rng, 40, 2e6, sim::Duration::sec(10));
+  schedule.append(net::ddos_attack(farm.topology(), rng, victim,
+                                   /*n_sources=*/40,
+                                   /*per_source_rate_bps=*/20e6,
+                                   sim::TimePoint::origin() + sim::Duration::sec(1),
+                                   sim::Duration::sec(9)));
+  farm.load_traffic(std::move(schedule));
+
+  // Run and sample victim goodput each second.
+  std::printf("%-6s %-14s %-10s %-8s\n", "t(s)", "delivered(MB/s)", "sources",
+              "alarm");
+  std::uint64_t last_delivered = 0;
+  for (int second = 1; second <= 6; ++second) {
+    farm.run_for(sim::Duration::sec(1));
+    std::uint64_t delivered = farm.traffic()->bytes_delivered_to(victim_host);
+    double rate_mbps = static_cast<double>(delivered - last_delivered) / 1e6;
+    last_delivered = delivered;
+    std::printf("%-6d %-14.1f %-10zu %-8s\n", second, rate_mbps,
+                harvester.all_sources.size(),
+                harvester.global_alarm ? "GLOBAL" : "-");
+  }
+
+  int limits = 0;
+  for (auto n : farm.topology().switches())
+    for (const auto& rule : farm.chassis(n).tcam().rules())
+      if (rule.action == asic::RuleAction::kRateLimit) ++limits;
+  std::printf("\n%d rate-limit rule(s) active; %zu attack sources identified\n",
+              limits, harvester.all_sources.size());
+  std::printf("victim goodput was capped locally — the flood never reached "
+              "the collector path\n");
+  return limits > 0 ? 0 : 1;
+}

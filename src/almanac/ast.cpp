@@ -1,0 +1,79 @@
+#include "almanac/ast.h"
+
+namespace farm::almanac {
+
+std::string to_string(TypeName t) {
+  switch (t) {
+    case TypeName::kBool:
+      return "bool";
+    case TypeName::kInt:
+      return "int";
+    case TypeName::kLong:
+      return "long";
+    case TypeName::kFloat:
+      return "float";
+    case TypeName::kString:
+      return "string";
+    case TypeName::kList:
+      return "list";
+    case TypeName::kPacket:
+      return "packet";
+    case TypeName::kAction:
+      return "action";
+    case TypeName::kFilter:
+      return "filter";
+    case TypeName::kStats:
+      return "stats";
+    case TypeName::kRule:
+      return "rule";
+    case TypeName::kSketch:
+      return "sketch";
+    case TypeName::kVoid:
+      return "void";
+  }
+  return "?";
+}
+
+std::string to_string(TriggerType t) {
+  switch (t) {
+    case TriggerType::kTime:
+      return "time";
+    case TriggerType::kPoll:
+      return "poll";
+    case TriggerType::kProbe:
+      return "probe";
+  }
+  return "?";
+}
+
+std::string to_string(BinOp op) {
+  switch (op) {
+    case BinOp::kAnd:
+      return "and";
+    case BinOp::kOr:
+      return "or";
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kDiv:
+      return "/";
+    case BinOp::kLe:
+      return "<=";
+    case BinOp::kGe:
+      return ">=";
+    case BinOp::kLt:
+      return "<";
+    case BinOp::kGt:
+      return ">";
+    case BinOp::kEq:
+      return "==";
+    case BinOp::kNe:
+      return "<>";
+  }
+  return "?";
+}
+
+}  // namespace farm::almanac

@@ -1,0 +1,219 @@
+#include "almanac/compile.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace farm::almanac {
+
+namespace {
+
+// Signature used to decide whether a state-level event overrides a
+// machine-level one (same trigger shape).
+std::string event_signature(const EventDecl& ev) {
+  switch (ev.kind) {
+    case EventDecl::TriggerKind::kEnter:
+      return "enter";
+    case EventDecl::TriggerKind::kExit:
+      return "exit";
+    case EventDecl::TriggerKind::kRealloc:
+      return "realloc";
+    case EventDecl::TriggerKind::kVarTrigger:
+      return "var:" + ev.var;
+    case EventDecl::TriggerKind::kRecv:
+      return "recv:" + to_string(ev.recv_type) + ":" +
+             (ev.from_harvester ? "harvester" : ev.from_machine);
+  }
+  return "?";
+}
+
+void check_util_expr(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+    case Expr::Kind::kVarRef:
+      return;
+    case Expr::Kind::kFieldAccess:
+      check_util_expr(*e.args[0]);
+      return;
+    case Expr::Kind::kBinary:
+      switch (e.op) {
+        case BinOp::kAnd:
+        case BinOp::kOr:
+        case BinOp::kEq:
+        case BinOp::kLe:
+        case BinOp::kGe:
+        case BinOp::kAdd:
+        case BinOp::kSub:
+        case BinOp::kMul:
+        case BinOp::kDiv:
+          break;
+        default:
+          throw CompileError(
+              "operator '" + to_string(e.op) + "' is not allowed in util",
+              e.loc);
+      }
+      check_util_expr(*e.args[0]);
+      check_util_expr(*e.args[1]);
+      return;
+    case Expr::Kind::kCall:
+      // §III-A f rule 3: only min and max.
+      if (e.name != "min" && e.name != "max" && e.name != "res")
+        throw CompileError("util may only call min/max (and read res)",
+                           e.loc);
+      for (const auto& a : e.args) check_util_expr(*a);
+      return;
+    case Expr::Kind::kNot:
+    case Expr::Kind::kFilterAtom:
+    case Expr::Kind::kStructInit:
+      throw CompileError("construct not allowed inside util", e.loc);
+  }
+}
+
+void check_util_actions(const std::vector<ActionPtr>& actions) {
+  for (const auto& a : actions) {
+    switch (a->kind) {
+      case Action::Kind::kIf:
+        check_util_expr(*a->expr);
+        check_util_actions(a->body);
+        check_util_actions(a->else_body);
+        break;
+      case Action::Kind::kReturn:
+        if (a->expr) check_util_expr(*a->expr);
+        break;
+      default:
+        throw CompileError(
+            "util bodies may contain only if-then-else and return", a->loc);
+    }
+  }
+}
+
+}  // namespace
+
+void check_util_restrictions(const UtilityDecl& util) {
+  check_util_actions(util.body);
+}
+
+CompiledMachine compile_machine(const Program& program,
+                                const std::string& machine_name) {
+  // Resolve the inheritance chain, base-most first.
+  std::vector<const MachineDecl*> chain;
+  std::unordered_set<std::string> seen;
+  const MachineDecl* m = program.machine(machine_name);
+  if (!m)
+    throw CompileError("unknown machine: " + machine_name, SourceLoc{});
+  while (m) {
+    if (!seen.insert(m->name).second)
+      throw CompileError("inheritance cycle involving " + m->name, m->loc);
+    chain.push_back(m);
+    if (m->extends.empty()) break;
+    const MachineDecl* parent = program.machine(m->extends);
+    if (!parent)
+      throw CompileError("unknown parent machine: " + m->extends, m->loc);
+    m = parent;
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  CompiledMachine out;
+  out.name = machine_name;
+  out.program = &program;
+
+  // Variables: no overriding or shadowing across the chain (§III-A a).
+  std::unordered_set<std::string> var_names;
+  for (const auto* mc : chain)
+    for (const auto& v : mc->vars) {
+      if (!var_names.insert(v.name).second)
+        throw CompileError(
+            "variable '" + v.name + "' overrides/shadows an inherited one",
+            v.loc);
+      out.vars.push_back(&v);
+    }
+
+  // Placement: the most-derived machine that declares any directives wins.
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (!(*it)->places.empty()) {
+      for (const auto& p : (*it)->places) out.places.push_back(&p);
+      break;
+    }
+  }
+
+  // Machine-level events: child same-signature handlers override parents'.
+  std::vector<const EventDecl*> machine_events;
+  for (const auto* mc : chain)
+    for (const auto& ev : mc->machine_events) {
+      std::erase_if(machine_events, [&](const EventDecl* old) {
+        return event_signature(*old) == event_signature(ev);
+      });
+      machine_events.push_back(&ev);
+    }
+
+  // States: child overrides parent state of the same name wholesale.
+  std::vector<std::pair<std::string, const StateDecl*>> states;
+  for (const auto* mc : chain)
+    for (const auto& st : mc->states) {
+      auto it = std::find_if(states.begin(), states.end(),
+                             [&](const auto& p) { return p.first == st.name; });
+      if (it != states.end())
+        it->second = &st;
+      else
+        states.emplace_back(st.name, &st);
+    }
+  if (states.empty())
+    throw CompileError("machine has no states: " + machine_name,
+                       chain.back()->loc);
+  out.initial_state = states.front().first;
+
+  std::unordered_set<std::string> state_names;
+  for (const auto& [name, _] : states) state_names.insert(name);
+
+  for (const auto& [name, decl] : states) {
+    CompiledState cs;
+    cs.name = name;
+    cs.decl = decl;
+    cs.util = decl->util ? &*decl->util : nullptr;
+    for (const auto& l : decl->locals) {
+      if (var_names.count(l.name))
+        throw CompileError(
+            "state local '" + l.name + "' shadows a machine variable", l.loc);
+      cs.locals.push_back(&l);
+    }
+    std::unordered_set<std::string> sigs;
+    for (const auto& ev : decl->events) {
+      cs.events.push_back(&ev);
+      sigs.insert(event_signature(ev));
+    }
+    for (const auto* ev : machine_events)
+      if (!sigs.count(event_signature(*ev))) cs.events.push_back(ev);
+    if (cs.util) check_util_restrictions(*cs.util);
+    out.states.push_back(std::move(cs));
+  }
+
+  // Validate static transit targets (bare identifiers must name states).
+  auto check_actions = [&](const std::vector<ActionPtr>& actions,
+                           auto&& self) -> void {
+    for (const auto& a : actions) {
+      if (a->kind == Action::Kind::kTransit && a->expr &&
+          a->expr->kind == Expr::Kind::kVarRef &&
+          !state_names.count(a->expr->name) && !out.var(a->expr->name)) {
+        throw CompileError("transit target '" + a->expr->name +
+                               "' is neither a state nor a variable",
+                           a->loc);
+      }
+      self(a->body, self);
+      self(a->else_body, self);
+    }
+  };
+  for (const auto& cs : out.states)
+    for (const auto* ev : cs.events) check_actions(ev->actions, check_actions);
+
+  // Trigger variables must be declared with an initializer (their Poll /
+  // Probe spec) or be assigned before use; we require the initializer so
+  // the seeder can analyze polling statically (§III-B c).
+  for (const auto* v : out.vars)
+    if (v->trigger && *v->trigger != TriggerType::kTime && !v->init)
+      throw CompileError(
+          "poll/probe variable '" + v->name + "' needs an initializer",
+          v->loc);
+
+  return out;
+}
+
+}  // namespace farm::almanac

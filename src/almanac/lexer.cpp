@@ -1,0 +1,201 @@
+#include "almanac/lexer.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace farm::almanac {
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    for (;;) {
+      skip_trivia();
+      if (eof()) break;
+      out.push_back(next_token());
+    }
+    out.push_back(Token{TokKind::kEof, "", 0, 0, loc()});
+    return out;
+  }
+
+ private:
+  bool eof() const { return pos_ >= src_.size(); }
+  char peek(std::size_t off = 0) const {
+    return pos_ + off < src_.size() ? src_[pos_ + off] : '\0';
+  }
+  char advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  SourceLoc loc() const { return {line_, col_}; }
+
+  void skip_trivia() {
+    while (!eof()) {
+      char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '/' && peek(1) == '/') {
+        while (!eof() && peek() != '\n') advance();
+      } else if (c == '/' && peek(1) == '*') {
+        SourceLoc start = loc();
+        advance();
+        advance();
+        while (!eof() && !(peek() == '*' && peek(1) == '/')) advance();
+        if (eof()) throw LexError{"unterminated block comment", start};
+        advance();
+        advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token next_token() {
+    SourceLoc at = loc();
+    char c = peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_')
+      return ident(at);
+    if (std::isdigit(static_cast<unsigned char>(c))) return number(at);
+    if (c == '"') return string_lit(at);
+    return punct(at);
+  }
+
+  Token ident(SourceLoc at) {
+    std::string text;
+    while (!eof()) {
+      char c = peek();
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') break;
+      text += advance();
+    }
+    return Token{TokKind::kIdent, std::move(text), 0, 0, at};
+  }
+
+  Token number(SourceLoc at) {
+    std::string text;
+    bool is_float = false;
+    while (!eof()) {
+      char c = peek();
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        text += advance();
+      } else if (c == '.' &&
+                 std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        // `.` only belongs to the number when followed by a digit —
+        // `res().PCIe` must not swallow the field access dot.
+        is_float = true;
+        text += advance();
+      } else if ((c == 'e' || c == 'E') &&
+                 (std::isdigit(static_cast<unsigned char>(peek(1))) ||
+                  ((peek(1) == '+' || peek(1) == '-') &&
+                   std::isdigit(static_cast<unsigned char>(peek(2)))))) {
+        is_float = true;
+        text += advance();
+        if (peek() == '+' || peek() == '-') text += advance();
+      } else {
+        break;
+      }
+    }
+    Token t{is_float ? TokKind::kFloat : TokKind::kInt, text, 0, 0, at};
+    if (is_float) {
+      t.float_value = std::stod(text);
+    } else {
+      auto [p, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), t.int_value);
+      if (ec != std::errc{})
+        throw LexError{"integer literal out of range: " + text, at};
+    }
+    return t;
+  }
+
+  Token string_lit(SourceLoc at) {
+    advance();  // opening quote
+    std::string text;
+    while (!eof() && peek() != '"') {
+      char c = advance();
+      if (c == '\\') {
+        if (eof()) break;
+        char esc = advance();
+        switch (esc) {
+          case 'n':
+            text += '\n';
+            break;
+          case 't':
+            text += '\t';
+            break;
+          case '"':
+            text += '"';
+            break;
+          case '\\':
+            text += '\\';
+            break;
+          default:
+            throw LexError{std::string("unknown escape: \\") + esc, at};
+        }
+      } else {
+        text += c;
+      }
+    }
+    if (eof()) throw LexError{"unterminated string literal", at};
+    advance();  // closing quote
+    return Token{TokKind::kString, std::move(text), 0, 0, at};
+  }
+
+  Token punct(SourceLoc at) {
+    char c = advance();
+    std::string text(1, c);
+    auto two = [&](char next) {
+      if (peek() == next) {
+        text += advance();
+        return true;
+      }
+      return false;
+    };
+    switch (c) {
+      case '=':
+        two('=');
+        break;
+      case '<':
+        if (!two('=')) two('>');  // <= or <> (not-equal, Fig. 3)
+        break;
+      case '>':
+        two('=');
+        break;
+      case '{':
+      case '}':
+      case '(':
+      case ')':
+      case ';':
+      case ',':
+      case '.':
+      case '+':
+      case '-':
+      case '*':
+      case '/':
+      case '@':
+        break;
+      default:
+        throw LexError{std::string("unexpected character: ") + c, at};
+    }
+    return Token{TokKind::kPunct, std::move(text), 0, 0, at};
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace farm::almanac

@@ -1,0 +1,47 @@
+// Lexer for Almanac source text.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "almanac/ast.h"
+
+namespace farm::almanac {
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords (the parser distinguishes)
+  kInt,     // integer literal
+  kFloat,   // floating-point literal
+  kString,  // "..." literal (escapes: \" \\ \n \t)
+  kPunct,   // one of: { } ( ) ; , . = == <= >= < > <> + - * / @
+  kEof,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;
+  std::int64_t int_value = 0;
+  double float_value = 0;
+  SourceLoc loc;
+
+  bool is_punct(std::string_view p) const {
+    return kind == TokKind::kPunct && text == p;
+  }
+  bool is_ident(std::string_view s) const {
+    return kind == TokKind::kIdent && text == s;
+  }
+};
+
+// Thrown (as part of ParseError, see parser.h) on malformed input.
+struct LexError {
+  std::string message;
+  SourceLoc loc;
+};
+
+// Tokenizes the whole input; throws LexError on malformed literals or
+// unknown characters. `//` and `/* */` comments are skipped.
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace farm::almanac

@@ -1,0 +1,33 @@
+// Recursive-descent parser for Almanac (grammar of Fig. 3).
+//
+// Concrete syntax decisions where the paper's figure is abstract:
+//   - user functions:        func <type> name(<type> a, ...) { ... }
+//   - switch-list placement: place all 3, 8;   (comma-separated ids)
+//   - range placement:       place any receiver <expr> range <= 1;
+//   - `port ANY` yields an interface-wildcard atom (the HH example polls
+//     per-interface statistics); numeric `port e` is an L4-port atom, and
+//     srcPort/dstPort/iface/proto atoms are also available.
+//   - struct initializers:   Poll { .ival = e, .what = e }
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "almanac/ast.h"
+
+namespace farm::almanac {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string message, SourceLoc loc)
+      : std::runtime_error(loc.to_string() + ": " + message), loc_(loc) {}
+  SourceLoc loc() const { return loc_; }
+
+ private:
+  SourceLoc loc_;
+};
+
+// Parses a full program; throws ParseError (or its base) on syntax errors.
+Program parse_program(std::string_view source);
+
+}  // namespace farm::almanac

@@ -1,0 +1,28 @@
+// Almanac ↔ XML interchange (§V-A d).
+//
+// The paper's seeder compiles Almanac into XML which each switch's soil
+// turns into executable seeds — XML being the OS-portable wire format.
+// We implement the same pipeline: `to_xml` serializes a parsed Program
+// (machines, states, events, actions, expressions) and `from_xml` restores
+// it; the round-trip is semantics-preserving (verified by property tests
+// that run both versions of a machine against the same inputs).
+#pragma once
+
+#include <string>
+
+#include "almanac/ast.h"
+#include "almanac/parser.h"
+
+namespace farm::almanac {
+
+class XmlError : public std::runtime_error {
+ public:
+  explicit XmlError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+std::string to_xml(const Program& program);
+// Throws XmlError on malformed documents.
+Program from_xml(const std::string& xml);
+
+}  // namespace farm::almanac

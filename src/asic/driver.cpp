@@ -1,0 +1,64 @@
+#include "asic/driver.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace farm::asic {
+
+TrafficDriver::TrafficDriver(sim::Engine& engine, const net::Topology& topo,
+                             std::vector<SwitchChassis*> switch_of_node,
+                             net::FlowSchedule schedule, sim::Duration tick)
+    : engine_(engine),
+      topo_(topo),
+      switches_(std::move(switch_of_node)),
+      schedule_(std::move(schedule)),
+      tick_(tick),
+      task_(engine, tick, [this] { on_tick(); }) {
+  FARM_CHECK(switches_.size() == topo_.node_count());
+}
+
+void TrafficDriver::start() { task_.start(); }
+void TrafficDriver::stop() { task_.stop(); }
+
+std::uint64_t TrafficDriver::bytes_delivered_to(net::NodeId host) const {
+  auto it = delivered_.find(host);
+  return it == delivered_.end() ? 0 : it->second;
+}
+
+int TrafficDriver::iface_index(net::NodeId n, net::NodeId nb) const {
+  const auto& adj = topo_.neighbors(n);
+  auto it = std::find(adj.begin(), adj.end(), nb);
+  FARM_CHECK_MSG(it != adj.end(), "iface lookup for non-neighbor");
+  return static_cast<int>(it - adj.begin());
+}
+
+void TrafficDriver::on_tick() {
+  for (const auto& flow : schedule_.active_at(engine_.now() - tick_)) {
+    auto src = topo_.host_by_address(flow.key.src_ip);
+    auto dst = topo_.host_by_address(flow.key.dst_ip);
+    if (!src || !dst) continue;  // external endpoints are out of scope
+
+    auto [it, inserted] = path_cache_.try_emplace(flow.key);
+    if (inserted) it->second = topo_.shortest_path(*src, *dst);
+    const net::Path& path = it->second;
+    if (path.empty()) continue;
+
+    net::FlowSpec effective = flow;
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      SwitchChassis* sw = switches_[path[i]];
+      if (!sw) continue;  // hosts
+      int in_iface = i > 0 ? iface_index(path[i], path[i - 1]) : -1;
+      int out_iface =
+          i + 1 < path.size() ? iface_index(path[i], path[i + 1]) : -1;
+      effective.rate_bps =
+          sw->apply_flow(effective, in_iface, out_iface, tick_);
+      if (effective.rate_bps <= 0) break;  // dropped upstream
+    }
+    if (effective.rate_bps > 0)
+      delivered_[*dst] += static_cast<std::uint64_t>(effective.rate_bps *
+                                                     tick_.seconds() / 8.0);
+  }
+}
+
+}  // namespace farm::asic

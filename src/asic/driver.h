@@ -1,0 +1,50 @@
+// Traffic driver: replays a FlowSchedule over the topology.
+//
+// Each tick, every active flow's rate is applied to the switches along its
+// (cached) shortest path, honouring TCAM actions: a drop or rate-limit
+// installed by a seed at switch k reduces the rate every switch > k sees —
+// which is how reaction benches verify local mitigation end-to-end.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "asic/switch.h"
+#include "net/traffic.h"
+#include "sim/engine.h"
+
+namespace farm::asic {
+
+class TrafficDriver {
+ public:
+  // `switch_of_node[n]` is the chassis simulating topology node n, or
+  // nullptr for hosts. Pointers must outlive the driver.
+  TrafficDriver(sim::Engine& engine, const net::Topology& topo,
+                std::vector<SwitchChassis*> switch_of_node,
+                net::FlowSchedule schedule,
+                sim::Duration tick = sim::Duration::ms(1));
+
+  void start();
+  void stop();
+  sim::Duration tick_period() const { return tick_; }
+
+  // Total bytes delivered to each destination host node (post-mitigation);
+  // lets tests assert that an installed drop rule actually quenched a flow.
+  std::uint64_t bytes_delivered_to(net::NodeId host) const;
+
+ private:
+  void on_tick();
+  // iface index of neighbor `nb` on node `n` (position in adjacency list).
+  int iface_index(net::NodeId n, net::NodeId nb) const;
+
+  sim::Engine& engine_;
+  const net::Topology& topo_;
+  std::vector<SwitchChassis*> switches_;
+  net::FlowSchedule schedule_;
+  sim::Duration tick_;
+  sim::PeriodicTask task_;
+  std::unordered_map<net::FlowKey, net::Path, net::FlowKeyHash> path_cache_;
+  std::unordered_map<net::NodeId, std::uint64_t> delivered_;
+};
+
+}  // namespace farm::asic

@@ -1,0 +1,47 @@
+#include "asic/pcie.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace farm::asic {
+
+PcieBus::PcieBus(Engine& engine, double bandwidth_bps,
+                 Duration per_request_overhead)
+    : engine_(engine),
+      bandwidth_bps_(bandwidth_bps),
+      overhead_(per_request_overhead) {
+  FARM_CHECK(bandwidth_bps > 0);
+}
+
+void PcieBus::request(int entries, std::function<void()> on_complete) {
+  FARM_CHECK(entries >= 0);
+  std::uint64_t transfer_bytes =
+      static_cast<std::uint64_t>(entries) * sim::cost::kStatEntryBytes;
+  Duration transfer = overhead_ + Duration::from_seconds(
+                                      static_cast<double>(transfer_bytes) *
+                                      8.0 / bandwidth_bps_);
+  TimePoint start = std::max(engine_.now(), free_at_);
+  free_at_ = start + transfer;
+  busy_ += transfer;
+  bytes_ += transfer_bytes;
+  ++requests_;
+  engine_.schedule_at(free_at_, [cb = std::move(on_complete)] {
+    if (cb) cb();
+  });
+}
+
+Duration PcieBus::backlog() const {
+  TimePoint now = engine_.now();
+  return free_at_ > now ? free_at_ - now : Duration{};
+}
+
+double PcieBus::utilization() const {
+  double elapsed = engine_.now().seconds();
+  if (elapsed <= 0) return 0;
+  // Subtract the part of busy time that lies in the future (queued work).
+  double busy = busy_.seconds() - backlog().seconds();
+  return std::clamp(busy / elapsed, 0.0, 1.0);
+}
+
+}  // namespace farm::asic

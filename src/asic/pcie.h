@@ -1,0 +1,51 @@
+// PCIe bus model between the switch management CPU and the ASIC.
+//
+// The paper measures the poll channel at 8 Mbps while the ASIC forwards at
+// 100 Gbps (a 1:12500 ratio, §VI-E a) — the central bottleneck motivating
+// the soil's polling aggregation. The model is a single serialized channel:
+// each poll request transfers `entries × kStatEntryBytes` plus a fixed
+// per-transaction overhead; requests queue FIFO.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/cost_model.h"
+#include "sim/engine.h"
+
+namespace farm::asic {
+
+using sim::Duration;
+using sim::Engine;
+using sim::TimePoint;
+
+class PcieBus {
+ public:
+  PcieBus(Engine& engine,
+          double bandwidth_bps = sim::cost::kPciePollBandwidthBps,
+          Duration per_request_overhead = sim::cost::kPcieRequestOverhead);
+
+  // Queues a transfer of `entries` statistics entries; on_complete fires
+  // when the data has fully crossed the bus.
+  void request(int entries, std::function<void()> on_complete);
+
+  // Work not yet transferred at `now` (how far behind the bus is).
+  Duration backlog() const;
+  // Fraction of wall time the bus has been busy since origin, in [0, 1].
+  double utilization() const;
+
+  std::uint64_t bytes_transferred() const { return bytes_; }
+  std::uint64_t requests_served() const { return requests_; }
+  double bandwidth_bps() const { return bandwidth_bps_; }
+
+ private:
+  Engine& engine_;
+  double bandwidth_bps_;
+  Duration overhead_;
+  TimePoint free_at_;   // when the channel next becomes idle
+  Duration busy_;       // cumulative transfer time
+  std::uint64_t bytes_ = 0;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace farm::asic

@@ -1,0 +1,111 @@
+// Switch chassis: ASIC data plane + management CPU, joined by a PCIe bus.
+//
+// This is the simulation substrate standing in for the paper's hardware
+// (Tofino/Trident ASICs behind Xeon/Atom management CPUs, §VI-A). It
+// exposes exactly the surfaces FARM and the baselines consume:
+//   - per-interface and per-TCAM-rule counters (polled over PCIe),
+//   - packet sampling / mirroring toward the CPU,
+//   - TCAM rule installation (the reaction path),
+//   - a CPU executing seed/agent work.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "asic/pcie.h"
+#include "asic/tcam.h"
+#include "net/packet.h"
+#include "net/topology.h"
+#include "net/traffic.h"
+#include "sim/cpu.h"
+#include "sim/engine.h"
+
+namespace farm::asic {
+
+struct PortStats {
+  std::uint64_t rx_packets = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_bytes = 0;
+};
+
+struct SwitchConfig {
+  int n_ifaces = 48;
+  int cpu_cores = 4;  // Atom C2538 class by default
+  int ram_mb = 8192;
+  sim::Duration context_switch = sim::cost::kContextSwitch;
+  int tcam_capacity = 3072;
+  int tcam_monitoring_reserved = 1024;
+  double pcie_bandwidth_bps = sim::cost::kPciePollBandwidthBps;
+  double asic_bandwidth_bps = sim::cost::kAsicBandwidthBps;
+};
+
+using SamplerId = std::uint64_t;
+
+class SwitchChassis {
+ public:
+  SwitchChassis(sim::Engine& engine, net::NodeId node, std::string name,
+                SwitchConfig config, std::uint64_t sample_seed);
+
+  net::NodeId node() const { return node_; }
+  const std::string& name() const { return name_; }
+  const SwitchConfig& config() const { return config_; }
+
+  Tcam& tcam() { return tcam_; }
+  const Tcam& tcam() const { return tcam_; }
+  PcieBus& pcie() { return pcie_; }
+  const PcieBus& pcie() const { return pcie_; }
+  sim::CpuModel& cpu() { return cpu_; }
+  const sim::CpuModel& cpu() const { return cpu_; }
+
+  int n_ifaces() const { return config_.n_ifaces; }
+  const PortStats& port_stats(int iface) const;
+
+  // Applies `dt` worth of one flow crossing this switch. in/out iface may
+  // be -1 (unknown / terminating here). Returns the effective forwarded
+  // rate after TCAM actions (drop → 0, rate-limit → capped), which the
+  // traffic driver propagates downstream.
+  double apply_flow(const net::FlowSpec& flow, int in_iface, int out_iface,
+                    sim::Duration dt);
+
+  // --- Packet sampling toward the CPU (sFlow agents, probe variables) ----
+  // `probability` is the per-packet sample probability. The callback gets a
+  // representative header plus the number of packets it stands for.
+  using SampleCallback =
+      std::function<void(const net::PacketHeader&, std::uint64_t count)>;
+  SamplerId add_sampler(double probability, SampleCallback cb);
+  void remove_sampler(SamplerId id);
+
+  // --- Mirroring (TCAM kMirror action) ------------------------------------
+  // All packets matching a kMirror rule are delivered here, at full rate.
+  SamplerId add_mirror_subscriber(SampleCallback cb);
+  void remove_mirror_subscriber(SamplerId id);
+
+  // Cumulative bytes the ASIC has forwarded (for utilization accounting).
+  std::uint64_t asic_bytes_forwarded() const { return asic_bytes_; }
+
+ private:
+  struct Sampler {
+    SamplerId id;
+    double probability;
+    SampleCallback cb;
+    double accumulator = 0;  // fractional expected samples carried over
+  };
+
+  sim::Engine& engine_;
+  net::NodeId node_;
+  std::string name_;
+  SwitchConfig config_;
+  Tcam tcam_;
+  PcieBus pcie_;
+  sim::CpuModel cpu_;
+  std::vector<PortStats> ports_;
+  std::vector<Sampler> samplers_;
+  std::vector<Sampler> mirrors_;
+  SamplerId next_sampler_ = 1;
+  std::uint64_t asic_bytes_ = 0;
+};
+
+}  // namespace farm::asic

@@ -1,0 +1,258 @@
+#include "farm/seeder.h"
+
+#include <algorithm>
+
+#include "almanac/analysis.h"
+#include "runtime/wire.h"
+#include "sim/cost_model.h"
+#include "util/log.h"
+
+namespace farm::core {
+
+Seeder::Seeder(sim::Engine& engine, const net::SdnController& controller,
+               MessageBus& bus, std::vector<Soil*> soils,
+               SeederOptions options)
+    : engine_(engine),
+      controller_(controller),
+      bus_(bus),
+      soils_(std::move(soils)),
+      options_(options) {
+  for (Soil* soil : soils_) {
+    bus_.attach_soil(*soil);
+    soil->set_depletion_callback([this](Soil&) {
+      // Placement inputs changed (a soil's resources are depleting): the
+      // seeder re-optimizes, unless the depletion was caused by its own
+      // ongoing realization.
+      if (!reoptimizing_) reoptimize();
+    });
+  }
+}
+
+Soil* Seeder::soil_at(net::NodeId node) const {
+  for (Soil* s : soils_)
+    if (s->node() == node) return s;
+  return nullptr;
+}
+
+std::optional<net::NodeId> Seeder::deployed_at(const SeedId& id) const {
+  for (Soil* s : soils_)
+    if (const_cast<Soil*>(s)->find(id)) return s->node();
+  return std::nullopt;
+}
+
+std::vector<Seeder::PlannedSeed> Seeder::elaborate(const TaskSpec& spec) {
+  auto program =
+      std::make_shared<const almanac::Program>(almanac::parse_program(spec.source));
+  std::vector<std::string> machines = spec.machines;
+  if (machines.empty())
+    for (const auto& m : program->machines) machines.push_back(m.name);
+
+  std::vector<PlannedSeed> out;
+  for (const auto& mname : machines) {
+    auto image = runtime::MachineImage::from_program(program, mname);
+    const auto& cm = image->machine;
+
+    // Machine environment for static evaluation: externals override
+    // initializers; triggers and uninitialized vars get defaults.
+    almanac::Env env;
+    almanac::Interpreter interp(cm, nullptr);
+    std::unordered_map<std::string, Value> externals;
+    for (const auto* v : cm.vars) {
+      auto it = spec.externals.find(v->name);
+      if (v->external && it != spec.externals.end()) {
+        env.define(v->name, it->second);
+        externals.emplace(v->name, it->second);
+        continue;
+      }
+      if (v->init && !v->trigger) {
+        try {
+          env.define(v->name, interp.eval(*v->init, env));
+        } catch (const almanac::EvalError&) {
+          env.define(v->name, almanac::Interpreter::default_value(v->type));
+        }
+      } else if (!v->trigger) {
+        env.define(v->name, almanac::Interpreter::default_value(v->type));
+      }
+    }
+
+    // Step 1: placement resolution.
+    auto resolved = almanac::resolve_places(cm, env, controller_);
+    // Step 2: utility analysis of the initial state.
+    const almanac::CompiledState* init = cm.state(cm.initial_state);
+    almanac::UtilityAnalysis ua = init && init->util
+                                      ? almanac::analyze_utility(*init->util)
+                                      : almanac::default_utility();
+    // Step 3: polling analysis. The optimizer's polling resource is the
+    // PCIe budget in Mbps, so the poll-rate polynomial 1/ival (polls/s) is
+    // scaled by the per-poll transfer size: entries × 64 B × 8 bit.
+    almanac::ResourcesValue reference{1, 128, 32, 1};
+    auto polls = almanac::analyze_polls(cm, env, reference);
+    int max_ifaces = 1;
+    for (const Soil* soil : soils_)
+      max_ifaces = std::max(
+          max_ifaces, const_cast<Soil*>(soil)->chassis().n_ifaces());
+
+    int index = 0;
+    for (const auto& rs : resolved) {
+      PlannedSeed ps;
+      ps.id = SeedId{spec.name, mname, index++};
+      ps.image = image;
+      ps.externals = externals;
+      ps.candidates = rs.candidates;
+      ps.variants = ua.variants;
+      for (const auto& pa : polls) {
+        int fp = pa.what.iface_footprint();
+        int entries = fp == net::Filter::kAllIfaces ? max_ifaces
+                      : fp > 0                      ? fp
+                                                    : 1;
+        double mbps_per_poll =
+            entries * sim::cost::kStatEntryBytes * 8.0 / 1e6;
+        ps.polls.push_back(placement::PollModel{
+            pa.subjects.empty() ? "none" : pa.subjects.front(),
+            pa.inv_ival.scaled(mbps_per_poll)});
+      }
+      out.push_back(std::move(ps));
+    }
+  }
+  return out;
+}
+
+placement::PlacementProblem Seeder::build_problem() const {
+  placement::PlacementProblem p;
+  for (Soil* soil : soils_) {
+    placement::SwitchModel sw;
+    sw.node = soil->node();
+    sw.capacity = soil->total_capacity();
+    p.switches.push_back(sw);
+  }
+  for (const auto& [name, task] : tasks_) {
+    for (const auto& ps : task.seeds) {
+      placement::SeedModel sm;
+      sm.id = ps.id.to_string();
+      sm.task = name;
+      sm.candidates = ps.candidates;
+      sm.polls = ps.polls;
+      // Live seeds contribute their *current* state's utility; fresh ones
+      // the initial state's.
+      sm.variants = ps.variants;
+      if (auto node = deployed_at(ps.id)) {
+        p.current_placement[sm.id] = *node;
+        Soil* soil = soil_at(*node);
+        if (Seed* seed = soil->find(ps.id)) {
+          p.current_alloc[sm.id] = soil->allocation(*seed);
+          const auto* st = ps.image->machine.state(seed->current_state());
+          if (st && st->util) {
+            try {
+              sm.variants = almanac::analyze_utility(*st->util).variants;
+            } catch (const almanac::CompileError&) {
+            }
+          }
+        }
+      }
+      p.seeds.push_back(std::move(sm));
+    }
+  }
+  return p;
+}
+
+void Seeder::realize(const placement::PlacementResult& result) {
+  reoptimizing_ = true;
+  // Index entries by seed id string.
+  std::unordered_map<std::string, const placement::PlacementEntry*> by_id;
+  for (const auto& e : result.placements) by_id[e.seed] = &e;
+
+  for (auto& [name, task] : tasks_) {
+    for (auto& ps : task.seeds) {
+      const std::string key = ps.id.to_string();
+      auto current = deployed_at(ps.id);
+      auto it = by_id.find(key);
+      if (it == by_id.end()) {
+        // Unplaced: remove if running.
+        if (current) soil_at(*current)->undeploy(ps.id);
+        continue;
+      }
+      const placement::PlacementEntry& e = *it->second;
+      Soil* target = soil_at(e.node);
+      FARM_CHECK_MSG(target != nullptr, "placement chose unmanaged switch");
+      if (!current) {
+        target->deploy(ps.id, ps.image, ps.externals, e.alloc);
+        ++deployments_;
+        continue;
+      }
+      if (*current == e.node) {
+        target->set_allocation(ps.id, e.alloc);
+        continue;
+      }
+      // Live migration: ship the description + state to the target; the
+      // source keeps running until the transfer completes, then execution
+      // resumes at the target (§V-B). Resources are doubled meanwhile —
+      // the placement already budgeted for that.
+      Soil* source = soil_at(*current);
+      Seed* running = source->find(ps.id);
+      runtime::SeedSnapshot snap = running->snapshot();
+      sim::Duration transfer =
+          sim::cost::kControlPathLatency +
+          sim::Duration::from_seconds(
+              static_cast<double>(snap.wire_bytes()) * 8.0 /
+              sim::cost::kControlLinkBandwidthBps);
+      ++migrations_;
+      SeedId id = ps.id;
+      auto image = ps.image;
+      auto externals = ps.externals;
+      auto alloc = e.alloc;
+      engine_.schedule_after(
+          transfer, [this, id, image, externals, alloc, source, target] {
+            // The source seed's latest state travels; re-snapshot at
+            // completion time for fidelity.
+            Seed* still = source->find(id);
+            if (!still) return;  // undeployed meanwhile
+            runtime::SeedSnapshot latest = still->snapshot();
+            source->undeploy(id);
+            target->deploy(id, image, externals, alloc, &latest);
+          });
+    }
+  }
+  reoptimizing_ = false;
+}
+
+void Seeder::reoptimize() {
+  auto problem = build_problem();
+  if (options_.use_milp) {
+    placement::MilpPlacementOptions mo;
+    mo.timeout_seconds = options_.milp_timeout_seconds;
+    last_ = placement::solve_milp_placement(problem, mo);
+  } else {
+    last_ = placement::solve_heuristic(problem, options_.heuristic);
+  }
+  realize(last_);
+}
+
+std::vector<SeedId> Seeder::install_task(const TaskSpec& spec) {
+  FARM_CHECK_MSG(!tasks_.count(spec.name), "task already installed");
+  InstalledTask task;
+  task.spec = spec;
+  task.seeds = elaborate(spec);
+  tasks_.emplace(spec.name, std::move(task));
+  reoptimize();
+  return seeds_of_task(spec.name);
+}
+
+void Seeder::remove_task(const std::string& name) {
+  auto it = tasks_.find(name);
+  if (it == tasks_.end()) return;
+  for (const auto& ps : it->second.seeds)
+    if (auto node = deployed_at(ps.id)) soil_at(*node)->undeploy(ps.id);
+  tasks_.erase(it);
+  reoptimize();
+}
+
+std::vector<SeedId> Seeder::seeds_of_task(const std::string& name) const {
+  std::vector<SeedId> out;
+  auto it = tasks_.find(name);
+  if (it == tasks_.end()) return out;
+  for (const auto& ps : it->second.seeds)
+    if (deployed_at(ps.id)) out.push_back(ps.id);
+  return out;
+}
+
+}  // namespace farm::core

@@ -1,0 +1,105 @@
+// Seeder: FARM's centralized M&M control instance (§II-C b, §III-B).
+//
+// Task installation runs the paper's three-step elaboration:
+//   1. resolve `place` directives against the SDN controller → seeds S^m
+//      and candidate sets N^s;
+//   2. analyze `util` → resource constraints C^s and utility u^s;
+//   3. analyze poll variables → subjects (φ_enc) and interval functions.
+// The results feed the global placement optimizer (Algorithm 1 by default,
+// or the MILP for comparison); the seeder then realizes the optimizer's
+// output: deploys new seeds, reallocates resources, and live-migrates
+// moved seeds (description first, then state; execution resumes at the
+// target once the state arrived — §V-B).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "placement/heuristic.h"
+#include "placement/milp_placement.h"
+#include "runtime/bus.h"
+#include "runtime/soil.h"
+
+namespace farm::core {
+
+using almanac::Value;
+using runtime::MessageBus;
+using runtime::Seed;
+using runtime::SeedId;
+using runtime::Soil;
+
+struct TaskSpec {
+  std::string name;
+  std::string source;  // Almanac program text
+  // Machines to instantiate; empty = every machine in the program.
+  std::vector<std::string> machines;
+  // external-variable bindings, applied to every machine declaring them.
+  std::unordered_map<std::string, Value> externals;
+};
+
+struct SeederOptions {
+  // Use the Algorithm-1 heuristic (default) or the MILP.
+  bool use_milp = false;
+  double milp_timeout_seconds = 10;
+  placement::HeuristicOptions heuristic;
+};
+
+class Seeder {
+ public:
+  Seeder(sim::Engine& engine, const net::SdnController& controller,
+         MessageBus& bus, std::vector<Soil*> soils, SeederOptions options = {});
+
+  // Installs the task and (re)optimizes the global placement. Returns the
+  // ids of the task's deployed seeds (empty if the task did not fit).
+  std::vector<SeedId> install_task(const TaskSpec& spec);
+  void remove_task(const std::string& name);
+  // Re-runs global placement over all installed tasks (also triggered by
+  // soil resource-depletion notifications).
+  void reoptimize();
+
+  const placement::PlacementResult& last_placement() const { return last_; }
+  // The optimization input built from the currently installed tasks;
+  // exposed so benchmarks can solve it with other algorithms.
+  placement::PlacementProblem build_problem() const;
+
+  std::uint64_t migrations_performed() const { return migrations_; }
+  std::uint64_t deployments() const { return deployments_; }
+  std::vector<SeedId> seeds_of_task(const std::string& name) const;
+
+ private:
+  struct PlannedSeed {
+    SeedId id;
+    std::shared_ptr<runtime::MachineImage> image;
+    std::unordered_map<std::string, Value> externals;
+    std::vector<net::NodeId> candidates;
+    std::vector<almanac::UtilityVariant> variants;
+    std::vector<placement::PollModel> polls;
+  };
+  struct InstalledTask {
+    TaskSpec spec;
+    std::vector<PlannedSeed> seeds;
+  };
+
+  // Elaborates a task spec into planned seeds (steps 1-3).
+  std::vector<PlannedSeed> elaborate(const TaskSpec& spec);
+  void realize(const placement::PlacementResult& result);
+  Soil* soil_at(net::NodeId node) const;
+  // Where a planned seed currently runs, if anywhere.
+  std::optional<net::NodeId> deployed_at(const SeedId& id) const;
+
+  sim::Engine& engine_;
+  const net::SdnController& controller_;
+  MessageBus& bus_;
+  std::vector<Soil*> soils_;
+  SeederOptions options_;
+  std::unordered_map<std::string, InstalledTask> tasks_;
+  placement::PlacementResult last_;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t deployments_ = 0;
+  bool reoptimizing_ = false;
+};
+
+}  // namespace farm::core

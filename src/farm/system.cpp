@@ -1,0 +1,52 @@
+#include "farm/system.h"
+
+namespace farm::core {
+
+FarmSystem::FarmSystem(FarmSystemConfig config)
+    : config_(config),
+      fabric_(net::build_spine_leaf(config.topology)),
+      controller_(fabric_.topo),
+      bus_(engine_) {
+  by_node_.assign(fabric_.topo.node_count(), nullptr);
+  std::vector<Soil*> soil_ptrs;
+  for (net::NodeId n : fabric_.topo.switches()) {
+    asic::SwitchConfig sc = config_.switch_config;
+    sc.n_ifaces = std::max<int>(
+        sc.n_ifaces, static_cast<int>(fabric_.topo.neighbors(n).size()));
+    chassis_.push_back(std::make_unique<asic::SwitchChassis>(
+        engine_, n, fabric_.topo.node(n).name, sc, n));
+    by_node_[n] = chassis_.back().get();
+    soils_.push_back(std::make_unique<Soil>(engine_, *chassis_.back(),
+                                            config_.soil_config, &bus_));
+    soil_ptrs.push_back(soils_.back().get());
+  }
+  seeder_ = std::make_unique<Seeder>(engine_, controller_, bus_, soil_ptrs,
+                                     config_.seeder);
+}
+
+Soil& FarmSystem::soil(net::NodeId node) {
+  for (auto& s : soils_)
+    if (s->node() == node) return *s;
+  FARM_CHECK_MSG(false, "no soil for node");
+}
+
+asic::SwitchChassis& FarmSystem::chassis(net::NodeId node) {
+  FARM_CHECK(node < by_node_.size() && by_node_[node]);
+  return *by_node_[node];
+}
+
+std::vector<Soil*> FarmSystem::soils() {
+  std::vector<Soil*> out;
+  for (auto& s : soils_) out.push_back(s.get());
+  return out;
+}
+
+void FarmSystem::load_traffic(net::FlowSchedule schedule) {
+  if (driver_) driver_->stop();
+  driver_ = std::make_unique<asic::TrafficDriver>(
+      engine_, fabric_.topo, by_node_, std::move(schedule),
+      config_.traffic_tick);
+  driver_->start();
+}
+
+}  // namespace farm::core

@@ -1,0 +1,113 @@
+// Linear / mixed-integer linear model description.
+//
+// Stand-in for the external solvers the paper uses (Gurobi for the Sonata
+// baseline and Fig. 7, lp-modeler for FARM's own LP steps). The model is a
+// plain data structure; `solve_lp` (simplex.h) and `solve_milp` (milp.h)
+// consume it.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace farm::lp {
+
+using VarId = int;
+
+enum class VarKind { kContinuous, kBinary, kInteger };
+enum class Sense { kLe, kGe, kEq };
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Variable {
+  std::string name;
+  VarKind kind = VarKind::kContinuous;
+  double lower = 0;
+  double upper = kInf;
+  double objective = 0;  // coefficient in the objective
+};
+
+struct Term {
+  VarId var;
+  double coeff;
+};
+
+struct Constraint {
+  std::string name;
+  std::vector<Term> terms;
+  Sense sense = Sense::kLe;
+  double rhs = 0;
+};
+
+class Model {
+ public:
+  // All variables have lower bound >= 0 in this solver (every quantity in
+  // the placement model — plc, res, pollres, epigraph helpers — is
+  // naturally non-negative). Negative lower bounds are rejected early.
+  VarId add_var(std::string name, VarKind kind, double lower, double upper,
+                double objective) {
+    FARM_CHECK_MSG(lower >= 0, "solver supports non-negative variables only");
+    FARM_CHECK(upper >= lower);
+    vars_.push_back({std::move(name), kind, lower, upper, objective});
+    return static_cast<VarId>(vars_.size()) - 1;
+  }
+  VarId add_continuous(std::string name, double lower, double upper,
+                       double objective = 0) {
+    return add_var(std::move(name), VarKind::kContinuous, lower, upper,
+                   objective);
+  }
+  VarId add_binary(std::string name, double objective = 0) {
+    return add_var(std::move(name), VarKind::kBinary, 0, 1, objective);
+  }
+
+  void add_constraint(std::string name, std::vector<Term> terms, Sense sense,
+                      double rhs) {
+    constraints_.push_back({std::move(name), std::move(terms), sense, rhs});
+  }
+
+  // true = maximize (the default; MU is a maximization).
+  void set_maximize(bool maximize) { maximize_ = maximize; }
+  bool maximize() const { return maximize_; }
+
+  const std::vector<Variable>& vars() const { return vars_; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+  std::size_t num_vars() const { return vars_.size(); }
+  std::size_t num_constraints() const { return constraints_.size(); }
+  bool has_integrality() const {
+    for (const auto& v : vars_)
+      if (v.kind != VarKind::kContinuous) return true;
+    return false;
+  }
+
+ private:
+  std::vector<Variable> vars_;
+  std::vector<Constraint> constraints_;
+  bool maximize_ = true;
+};
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kTimeLimit,  // best incumbent returned (MILP) or iteration abort (LP)
+  kIterationLimit,
+};
+
+struct Solution {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double objective = 0;
+  std::vector<double> values;
+  // Diagnostics
+  std::uint64_t simplex_iterations = 0;
+  std::uint64_t nodes_explored = 0;  // MILP only
+  double solve_seconds = 0;
+
+  bool feasible() const {
+    return status == SolveStatus::kOptimal || status == SolveStatus::kTimeLimit;
+  }
+  double value(VarId v) const { return values.at(static_cast<std::size_t>(v)); }
+};
+
+}  // namespace farm::lp

@@ -1,0 +1,28 @@
+// Dense two-phase primal simplex.
+//
+// Solves the continuous relaxation of placement models and the per-switch
+// resource-redistribution LPs of Algorithm 1 (step 3). Dense tableaus are
+// the right trade-off here: redistribution LPs are tiny (tens of variables)
+// and the MILP baseline's relaxations only need to be solved while the
+// instance fits the paper's "commodity solver" role — oversized instances
+// abort against the deadline exactly like a timed-out solver run.
+#pragma once
+
+#include "lp/model.h"
+
+namespace farm::lp {
+
+struct LpOptions {
+  // Wall-clock budget; exceeded ⇒ status kTimeLimit.
+  double deadline_seconds = kInf;
+  std::uint64_t max_iterations = 10'000'000;
+  // Refuse instances whose tableau would exceed this many cells; the
+  // returned status is kTimeLimit (treated as "solver gave up"), keeping
+  // large-scale MILP baseline behaviour honest instead of thrashing.
+  std::size_t max_tableau_cells = 64'000'000;
+};
+
+// Integrality markers in the model are ignored (continuous relaxation).
+Solution solve_lp(const Model& model, const LpOptions& options = {});
+
+}  // namespace farm::lp

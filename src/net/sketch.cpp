@@ -1,0 +1,108 @@
+#include "net/sketch.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace farm::net {
+
+namespace {
+
+// 64-bit FNV-1a with a per-row seed mixed in via xorshift-multiply.
+std::uint64_t hash64(std::string_view key, std::uint64_t seed) {
+  std::uint64_t h = 1469598103934665603ull ^ (seed * 0x9E3779B97F4A7C15ull);
+  for (char c : key) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+CountMinSketch::CountMinSketch(int width, int depth)
+    : width_(width), depth_(depth) {
+  FARM_CHECK(width > 0 && depth > 0 && depth <= 16);
+  counters_.assign(static_cast<std::size_t>(width) *
+                       static_cast<std::size_t>(depth),
+                   0);
+}
+
+std::uint64_t CountMinSketch::cell_hash(std::string_view key, int row) const {
+  return hash64(key, static_cast<std::uint64_t>(row) + 1) %
+         static_cast<std::uint64_t>(width_);
+}
+
+void CountMinSketch::add(std::string_view key, std::uint64_t count) {
+  total_ += count;
+  // Conservative update: raise each row's cell only to the new minimum —
+  // tighter estimates than plain count-min at the same memory.
+  std::uint64_t current = estimate(key);
+  std::uint64_t target = current + count;
+  for (int r = 0; r < depth_; ++r) {
+    auto& cell = counters_[static_cast<std::size_t>(r) *
+                               static_cast<std::size_t>(width_) +
+                           cell_hash(key, r)];
+    cell = std::max(cell, target);
+  }
+}
+
+std::uint64_t CountMinSketch::estimate(std::string_view key) const {
+  std::uint64_t best = ~0ull;
+  for (int r = 0; r < depth_; ++r)
+    best = std::min(best, counters_[static_cast<std::size_t>(r) *
+                                        static_cast<std::size_t>(width_) +
+                                    cell_hash(key, r)]);
+  return best;
+}
+
+void CountMinSketch::clear() {
+  std::fill(counters_.begin(), counters_.end(), 0);
+  total_ = 0;
+}
+
+HyperLogLog::HyperLogLog(int precision) : precision_(precision) {
+  FARM_CHECK(precision >= 4 && precision <= 16);
+  registers_.assign(std::size_t{1} << precision, 0);
+}
+
+void HyperLogLog::add(std::string_view key) {
+  std::uint64_t h = hash64(key, 0);
+  std::size_t idx = h >> (64 - precision_);
+  std::uint64_t rest = h << precision_;
+  // Rank: position of the leftmost 1-bit in the remaining bits (1-based).
+  int rank = rest == 0 ? (64 - precision_ + 1)
+                       : std::countl_zero(rest) + 1;
+  registers_[idx] =
+      std::max(registers_[idx], static_cast<std::uint8_t>(rank));
+}
+
+double HyperLogLog::estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double sum = 0;
+  int zeros = 0;
+  for (std::uint8_t r : registers_) {
+    sum += std::ldexp(1.0, -r);
+    zeros += r == 0;
+  }
+  double alpha = m == 16 ? 0.673
+                 : m == 32 ? 0.697
+                 : m == 64 ? 0.709
+                           : 0.7213 / (1 + 1.079 / m);
+  double raw = alpha * m * m / sum;
+  // Small-range correction: linear counting.
+  if (raw <= 2.5 * m && zeros > 0)
+    return m * std::log(m / static_cast<double>(zeros));
+  return raw;
+}
+
+void HyperLogLog::clear() {
+  std::fill(registers_.begin(), registers_.end(), 0);
+}
+
+}  // namespace farm::net

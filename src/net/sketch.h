@@ -1,0 +1,61 @@
+// Probabilistic sketches — the paper's §VIII future-work item ("the
+// integration of sketches into FARM"), implemented as seed-side state
+// primitives exposed through Almanac builtins (cms_* / hll_*).
+//
+// CountMinSketch: conservative-update count-min for per-key frequency
+// estimation under bounded memory (over-estimates only; error ≤ εN with
+// probability 1-δ for width=⌈e/ε⌉, depth=⌈ln 1/δ⌉).
+// HyperLogLog: cardinality estimation with 2^precision 6-bit registers
+// (relative error ≈ 1.04/√m) — the natural fit for superspreader /
+// entropy-style distinct counting that today costs the seeds O(n) lists.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace farm::net {
+
+class CountMinSketch {
+ public:
+  CountMinSketch(int width, int depth);
+
+  void add(std::string_view key, std::uint64_t count = 1);
+  // Point query; never under-estimates the true count.
+  std::uint64_t estimate(std::string_view key) const;
+  void clear();
+
+  int width() const { return width_; }
+  int depth() const { return depth_; }
+  std::size_t memory_bytes() const {
+    return counters_.size() * sizeof(std::uint64_t);
+  }
+  std::uint64_t total_added() const { return total_; }
+
+ private:
+  std::uint64_t cell_hash(std::string_view key, int row) const;
+
+  int width_;
+  int depth_;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> counters_;  // depth × width
+};
+
+class HyperLogLog {
+ public:
+  // precision p in [4, 16]: m = 2^p registers.
+  explicit HyperLogLog(int precision);
+
+  void add(std::string_view key);
+  // Cardinality estimate with small-range (linear counting) correction.
+  double estimate() const;
+  void clear();
+
+  std::size_t memory_bytes() const { return registers_.size(); }
+
+ private:
+  int precision_;
+  std::vector<std::uint8_t> registers_;
+};
+
+}  // namespace farm::net

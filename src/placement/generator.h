@@ -1,0 +1,27 @@
+// Random placement-problem generator for evaluation (§VI-D).
+//
+// Mirrors the paper's setup: up to 10 task archetypes (the Table I use
+// cases), thousands of seeds across ~1000 switches, "with varying resource
+// and placement needs". Utilities and constraints are drawn from the same
+// shapes the util analysis produces for the shipped use cases; polling
+// subjects come from a small pool so aggregation opportunities exist.
+#pragma once
+
+#include "placement/model.h"
+#include "util/rng.h"
+
+namespace farm::placement {
+
+struct GeneratorSpec {
+  int n_switches = 40;
+  int n_tasks = 10;
+  int seeds_per_task = 40;  // total seeds = n_tasks × seeds_per_task
+  int candidates_per_seed = 4;
+  // Fraction of seeds that poll a shared subject (aggregation pressure).
+  double shared_poll_fraction = 0.5;
+  std::uint64_t seed = 1;
+};
+
+PlacementProblem generate_problem(const GeneratorSpec& spec);
+
+}  // namespace farm::placement

@@ -1,0 +1,446 @@
+#include "placement/heuristic.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <unordered_map>
+
+#include "placement/switch_lp.h"
+#include "util/check.h"
+
+namespace farm::placement {
+
+namespace {
+
+double res_dim(const ResourcesValue& r, std::size_t d) {
+  switch (d) {
+    case almanac::kVCpu:
+      return r.vCPU;
+    case almanac::kRam:
+      return r.RAM;
+    case almanac::kTcam:
+      return r.TCAM;
+    default:
+      return r.PCIe;
+  }
+}
+
+void add_dim(ResourcesValue& r, std::size_t d, double v) {
+  switch (d) {
+    case almanac::kVCpu:
+      r.vCPU += v;
+      break;
+    case almanac::kRam:
+      r.RAM += v;
+      break;
+    case almanac::kTcam:
+      r.TCAM += v;
+      break;
+    default:
+      r.PCIe += v;
+      break;
+  }
+}
+
+struct SwitchState {
+  const SwitchModel* model = nullptr;
+  ResourcesValue used{};                       // min-alloc + residue charges
+  std::map<std::string, double> poll_demand;   // subject → max inv demand
+  std::vector<PinnedSeed> pinned;
+  std::vector<std::string> pinned_ids;
+
+  double poll_total() const {
+    double t = 0;
+    for (const auto& [_, d] : poll_demand) t += d;
+    return t;
+  }
+
+  // Incremental PCIe demand if `seed` polls at allocation `alloc`.
+  double incremental_poll(const SeedModel& seed,
+                          const ResourcesValue& alloc) const {
+    double inc = 0;
+    for (const auto& p : seed.polls) {
+      double demand = model->alpha_poll * p.inv_ival.eval(alloc);
+      auto it = poll_demand.find(p.subject);
+      double existing = it == poll_demand.end() ? 0 : it->second;
+      inc += std::max(0.0, demand - existing);
+    }
+    return inc;
+  }
+
+  bool fits(const SeedModel& seed, const ResourcesValue& alloc) const {
+    for (std::size_t d = 0; d < almanac::kNumResources; ++d) {
+      if (d == almanac::kPcie) continue;
+      if (res_dim(used, d) + res_dim(alloc, d) >
+          res_dim(model->capacity, d) + 1e-9)
+        return false;
+    }
+    return poll_total() + incremental_poll(seed, alloc) <=
+           model->capacity.PCIe + 1e-9;
+  }
+
+  void commit(const SeedModel& seed, int variant,
+              const ResourcesValue& alloc) {
+    for (std::size_t d = 0; d < almanac::kNumResources; ++d) {
+      if (d == almanac::kPcie) continue;
+      add_dim(used, d, res_dim(alloc, d));
+    }
+    for (const auto& p : seed.polls) {
+      double demand = model->alpha_poll * p.inv_ival.eval(alloc);
+      auto [it, _] = poll_demand.try_emplace(p.subject, 0.0);
+      it->second = std::max(it->second, demand);
+    }
+    pinned.push_back({&seed, variant});
+    pinned_ids.push_back(seed.id);
+  }
+
+  // Charges migration residue (non-poll dims only; polling residue is
+  // second-order and short-lived).
+  void charge_residue(const ResourcesValue& alloc) {
+    for (std::size_t d = 0; d < almanac::kNumResources; ++d) {
+      if (d == almanac::kPcie) continue;
+      add_dim(used, d, res_dim(alloc, d));
+    }
+  }
+
+  void remove(const std::string& seed_id) {
+    for (std::size_t i = 0; i < pinned_ids.size(); ++i)
+      if (pinned_ids[i] == seed_id) {
+        pinned.erase(pinned.begin() + static_cast<std::ptrdiff_t>(i));
+        pinned_ids.erase(pinned_ids.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+  }
+};
+
+// The residue a seed charges at its old switch when it moves.
+ResourcesValue residue_of(const PlacementProblem& problem,
+                          const std::string& seed_id) {
+  auto it = problem.current_alloc.find(seed_id);
+  return it == problem.current_alloc.end() ? ResourcesValue{0.5, 64, 8, 0.5}
+                                           : it->second;
+}
+
+}  // namespace
+
+PlacementResult solve_heuristic(const PlacementProblem& problem,
+                                const HeuristicOptions& options) {
+  auto t0 = std::chrono::steady_clock::now();
+  PlacementResult result;
+
+  std::unordered_map<net::NodeId, SwitchState> switches;
+  for (const auto& sw : problem.switches) switches[sw.node].model = &sw;
+
+  // Pre-compute per-seed, per-variant minimum utility / minimal allocation
+  // (capacity-independent part).
+  struct VariantInfo {
+    std::optional<ResourcesValue> min_alloc;  // unbounded-box minimal alloc
+    double min_util = 0;
+  };
+  std::unordered_map<const SeedModel*, std::vector<VariantInfo>> variant_info;
+  ResourcesValue unbounded{1e9, 1e9, 1e9, 1e9};
+  for (const auto& s : problem.seeds) {
+    auto& infos = variant_info[&s];
+    for (const auto& v : s.variants) {
+      VariantInfo vi;
+      vi.min_alloc = minimal_allocation(v, unbounded);
+      ++result.lp_solves;
+      if (vi.min_alloc) vi.min_util = v.utility(*vi.min_alloc);
+      infos.push_back(vi);
+    }
+  }
+
+  // --- Step 1: order tasks by decreasing minimum utility -------------------
+  std::map<std::string, std::vector<const SeedModel*>> tasks;
+  for (const auto& s : problem.seeds) tasks[s.task].push_back(&s);
+  std::vector<std::pair<double, std::string>> task_order;
+  for (const auto& [task, seeds] : tasks) {
+    double u = 0;
+    for (const SeedModel* s : seeds) {
+      double best = 0;
+      for (const auto& vi : variant_info[s]) best = std::max(best, vi.min_util);
+      u += best;
+    }
+    task_order.emplace_back(u, task);
+  }
+  std::sort(task_order.rbegin(), task_order.rend());
+
+  // --- Step 2: greedy placement --------------------------------------------
+  struct Decision {
+    net::NodeId node;
+    int variant;
+    ResourcesValue min_alloc;
+  };
+  std::unordered_map<std::string, Decision> decisions;
+
+  for (const auto& [task_util, task] : task_order) {
+    (void)task_util;
+    std::vector<std::pair<const SeedModel*, Decision>> staged;
+    bool task_ok = true;
+    for (const SeedModel* s : tasks[task]) {
+      auto cur = problem.current_placement.find(s->id);
+      net::NodeId cur_node =
+          cur == problem.current_placement.end() ? net::kInvalidNode
+                                                 : cur->second;
+      const auto& infos = variant_info[s];
+      // Best (node, variant): highest min utility; among equals prefer the
+      // current node (no migration), then the smallest incremental polling
+      // demand (aggregation-friendliness).
+      bool found = false;
+      Decision best{};
+      double best_score = -1;
+      double best_poll = 0;
+      bool best_is_current = false;
+      for (net::NodeId n : s->candidates) {
+        auto swit = switches.find(n);
+        if (swit == switches.end()) continue;
+        SwitchState& st = swit->second;
+        for (std::size_t v = 0; v < s->variants.size(); ++v) {
+          if (!infos[v].min_alloc) continue;
+          ResourcesValue alloc = *infos[v].min_alloc;
+          // Box-check against this switch's remaining capacity.
+          if (!st.fits(*s, alloc)) continue;
+          // Migration residue must also fit at the old switch.
+          bool is_current = n == cur_node;
+          if (!is_current && cur_node != net::kInvalidNode) {
+            auto old_it = switches.find(cur_node);
+            if (old_it != switches.end()) {
+              ResourcesValue res = residue_of(problem, s->id);
+              bool ok = true;
+              for (std::size_t d = 0; d < almanac::kNumResources; ++d) {
+                if (d == almanac::kPcie) continue;
+                if (res_dim(old_it->second.used, d) + res_dim(res, d) >
+                    res_dim(old_it->second.model->capacity, d) + 1e-9)
+                  ok = false;
+              }
+              if (!ok) continue;
+            }
+          }
+          double score = infos[v].min_util;
+          double poll = st.incremental_poll(*s, alloc);
+          bool better =
+              !found || score > best_score + 1e-12 ||
+              (score > best_score - 1e-12 &&
+               ((is_current && !best_is_current) ||
+                (is_current == best_is_current && poll < best_poll)));
+          if (better) {
+            found = true;
+            best = Decision{n, static_cast<int>(v), alloc};
+            best_score = score;
+            best_poll = poll;
+            best_is_current = is_current;
+          }
+        }
+      }
+      if (!found) {
+        task_ok = false;
+        break;
+      }
+      // Commit tentatively (capacity bookkeeping); rollback is wholesale.
+      SwitchState& st = switches[best.node];
+      st.commit(*s, best.variant, best.min_alloc);
+      if (cur_node != net::kInvalidNode && cur_node != best.node) {
+        auto old_it = switches.find(cur_node);
+        if (old_it != switches.end())
+          old_it->second.charge_residue(residue_of(problem, s->id));
+      }
+      staged.emplace_back(s, best);
+    }
+    if (!task_ok) {
+      // C1: drop the whole task; rebuild switch states from scratch is
+      // expensive — instead undo the staged commits.
+      for (auto& [s, d] : staged) {
+        SwitchState& st = switches[d.node];
+        st.remove(s->id);
+        for (std::size_t dd = 0; dd < almanac::kNumResources; ++dd) {
+          if (dd == almanac::kPcie) continue;
+          add_dim(st.used, dd, -res_dim(d.min_alloc, dd));
+        }
+        // Poll demand / residue over-accounting after rollback is accepted:
+        // it only makes the remaining greedy slightly conservative.
+      }
+      continue;
+    }
+    for (auto& [s, d] : staged) decisions[s->id] = d;
+  }
+
+  // --- Step 3: per-switch LP redistribution --------------------------------
+  // Migration residue per switch (seeds that moved away keep their old
+  // allocation reserved during state transfer).
+  std::unordered_map<net::NodeId, ResourcesValue> reserved;
+  for (const auto& [seed_id, node] : problem.current_placement) {
+    auto d = decisions.find(seed_id);
+    if (d == decisions.end() || d->second.node == node) continue;
+    ResourcesValue res = residue_of(problem, seed_id);
+    auto& acc = reserved[node];
+    acc.vCPU += res.vCPU;
+    acc.RAM += res.RAM;
+    acc.TCAM += res.TCAM;
+    acc.PCIe += res.PCIe;
+  }
+
+  std::unordered_map<std::string, PlacementEntry> entries;
+  std::unordered_map<net::NodeId, double> switch_utility;
+  for (auto& [node, st] : switches) {
+    auto lp = redistribute_on_switch(*st.model, st.pinned, reserved[node],
+                                     &result.lp_solves);
+    if (!lp) {
+      // Fall back to the greedy minimal allocations.
+      for (std::size_t i = 0; i < st.pinned.size(); ++i) {
+        const auto& vi =
+            variant_info[st.pinned[i].seed]
+                        [static_cast<std::size_t>(st.pinned[i].variant)];
+        PlacementEntry e;
+        e.seed = st.pinned[i].seed->id;
+        e.node = node;
+        e.variant = st.pinned[i].variant;
+        e.alloc = vi.min_alloc.value_or(ResourcesValue{});
+        e.utility = vi.min_util;
+        switch_utility[node] += e.utility;
+        entries[e.seed] = e;
+      }
+      continue;
+    }
+    for (std::size_t i = 0; i < st.pinned.size(); ++i) {
+      PlacementEntry e;
+      e.seed = st.pinned[i].seed->id;
+      e.node = node;
+      e.variant = st.pinned[i].variant;
+      e.alloc = lp->allocs[i];
+      e.utility = lp->utilities[i];
+      entries[e.seed] = e;
+    }
+    switch_utility[node] = lp->utility;
+  }
+
+  // --- Steps 4 & 5: migration by decreasing benefit ------------------------
+  // Repeated until a sweep applies nothing (bounded): applying a move
+  // changes the marginal value of others, so benefits are recomputed.
+  std::size_t evals = 0;
+  bool improved = options.enable_migration_pass;
+  for (int sweep = 0; sweep < 4 && improved; ++sweep) {
+    improved = false;
+    struct Move {
+      double benefit;
+      const SeedModel* seed;
+      net::NodeId from, to;
+      int variant;
+    };
+    std::vector<Move> moves;
+    for (const auto& s : problem.seeds) {
+      if (evals >= options.max_migration_evals) break;
+      auto eit = entries.find(s.id);
+      if (eit == entries.end()) continue;
+      net::NodeId from = eit->second.node;
+      for (net::NodeId to : s.candidates) {
+        if (to == from) continue;
+        if (evals >= options.max_migration_evals) break;
+        auto target_it = switches.find(to);
+        auto source_it = switches.find(from);
+        if (target_it == switches.end() || source_it == switches.end())
+          continue;
+        ++evals;
+        // Benefit = ΔU(target with s) + ΔU(source without s).
+        auto target_pinned = target_it->second.pinned;
+        target_pinned.push_back({&s, eit->second.variant});
+        ResourcesValue target_res = reserved[to];
+        auto target_lp = redistribute_on_switch(
+            *target_it->second.model, target_pinned, target_res,
+            &result.lp_solves);
+        if (!target_lp) continue;
+        std::vector<PinnedSeed> source_pinned;
+        for (const auto& p : source_it->second.pinned)
+          if (p.seed->id != s.id) source_pinned.push_back(p);
+        // Residue applies only when the seed is *actually deployed* at the
+        // source (plc' = 1): the doubled-resources window exists while its
+        // state transfers. Re-deciding a fresh placement is free.
+        ResourcesValue source_res = reserved[from];
+        auto curp = problem.current_placement.find(s.id);
+        if (curp != problem.current_placement.end() && curp->second == from) {
+          ResourcesValue own = residue_of(problem, s.id);
+          source_res.vCPU += own.vCPU;
+          source_res.RAM += own.RAM;
+          source_res.TCAM += own.TCAM;
+        }
+        auto source_lp = redistribute_on_switch(
+            *source_it->second.model, source_pinned, source_res,
+            &result.lp_solves);
+        if (!source_lp) continue;
+        double benefit = (target_lp->utility - switch_utility[to]) +
+                         (source_lp->utility - switch_utility[from]);
+        if (benefit > 1e-9)
+          moves.push_back({benefit, &s, from, to, eit->second.variant});
+      }
+    }
+    std::sort(moves.begin(), moves.end(),
+              [](const Move& a, const Move& b) { return a.benefit > b.benefit; });
+    for (const auto& mv : moves) {
+      // Re-evaluate against the evolving state; apply only if still
+      // beneficial.
+      auto& src = switches[mv.from];
+      auto& dst = switches[mv.to];
+      auto eit = entries.find(mv.seed->id);
+      if (eit == entries.end() || eit->second.node != mv.from) continue;
+      auto dst_pinned = dst.pinned;
+      dst_pinned.push_back({mv.seed, mv.variant});
+      auto dst_lp = redistribute_on_switch(*dst.model, dst_pinned,
+                                           reserved[mv.to],
+                                           &result.lp_solves);
+      if (!dst_lp) continue;
+      std::vector<PinnedSeed> src_pinned;
+      for (const auto& p : src.pinned)
+        if (p.seed->id != mv.seed->id) src_pinned.push_back(p);
+      ResourcesValue src_res = reserved[mv.from];
+      auto curp2 = problem.current_placement.find(mv.seed->id);
+      if (curp2 != problem.current_placement.end() &&
+          curp2->second == mv.from) {
+        ResourcesValue own = residue_of(problem, mv.seed->id);
+        src_res.vCPU += own.vCPU;
+        src_res.RAM += own.RAM;
+        src_res.TCAM += own.TCAM;
+      }
+      auto src_lp = redistribute_on_switch(*src.model, src_pinned, src_res,
+                                           &result.lp_solves);
+      if (!src_lp) continue;
+      double benefit = (dst_lp->utility - switch_utility[mv.to]) +
+                       (src_lp->utility - switch_utility[mv.from]);
+      if (benefit <= 1e-9) continue;
+      improved = true;
+      // Apply the move.
+      src.remove(mv.seed->id);
+      dst.pinned = dst_pinned;
+      dst.pinned_ids.push_back(mv.seed->id);
+      reserved[mv.from] = src_res;  // residue persists during transfer
+      switch_utility[mv.to] = dst_lp->utility;
+      switch_utility[mv.from] = src_lp->utility;
+      for (std::size_t i = 0; i < dst.pinned.size(); ++i) {
+        auto& e = entries[dst.pinned[i].seed->id];
+        e.seed = dst.pinned[i].seed->id;
+        e.node = mv.to;
+        e.variant = dst.pinned[i].variant;
+        e.alloc = dst_lp->allocs[i];
+        e.utility = dst_lp->utilities[i];
+      }
+      for (std::size_t i = 0; i < src_pinned.size(); ++i) {
+        auto& e = entries[src_pinned[i].seed->id];
+        e.alloc = src_lp->allocs[i];
+        e.utility = src_lp->utilities[i];
+      }
+    }
+  }
+
+  for (auto& [_, e] : entries) result.placements.push_back(e);
+  std::sort(result.placements.begin(), result.placements.end(),
+            [](const PlacementEntry& a, const PlacementEntry& b) {
+              return a.seed < b.seed;
+            });
+  result.total_utility = 0;
+  for (const auto& e : result.placements) result.total_utility += e.utility;
+  result.solve_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace farm::placement

@@ -1,0 +1,31 @@
+// FARM's seed-placement heuristic (Algorithm 1, §IV-D).
+//
+//  1. Sort tasks by decreasing minimum utility.
+//  2. Greedily place each task's seeds at their best candidate switch
+//     (most added utility at minimal allocation; existing placements are
+//     kept where possible — no unnecessary migration).
+//  3. Redistribute resources exactly with one small LP per switch (the
+//     problem decomposes: capacities couple only co-located seeds).
+//  4. Compute migration benefits (pairs of per-switch LPs) and
+//  5. apply migrations in decreasing benefit order.
+//
+// Migration residue (the transient doubling of §IV-B a) is charged at the
+// source switch for every seed that moves relative to the problem's
+// current placement.
+#pragma once
+
+#include "placement/model.h"
+
+namespace farm::placement {
+
+struct HeuristicOptions {
+  bool enable_migration_pass = true;
+  // Upper bound on (seed, alternative-switch) benefit evaluations; keeps
+  // step 4 subquadratic on 10k-seed instances.
+  std::size_t max_migration_evals = 5000;
+};
+
+PlacementResult solve_heuristic(const PlacementProblem& problem,
+                                const HeuristicOptions& options = {});
+
+}  // namespace farm::placement

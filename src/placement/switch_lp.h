@@ -1,0 +1,44 @@
+// Per-switch LP helpers shared by the heuristic and by migration-benefit
+// evaluation. The resource-redistribution problem decomposes by switch
+// (capacities only couple seeds on the same switch), so each LP stays tiny
+// even at 10k-seed scale — the property that makes Algorithm 1 fast.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "lp/simplex.h"
+#include "placement/model.h"
+
+namespace farm::placement {
+
+// A seed pinned to a switch with a chosen variant, awaiting an allocation.
+struct PinnedSeed {
+  const SeedModel* seed;
+  int variant;
+};
+
+struct SwitchLpResult {
+  double utility = 0;
+  std::vector<ResourcesValue> allocs;  // parallel to input seeds
+  std::vector<double> utilities;
+};
+
+// Maximizes total utility of the pinned seeds on `sw` under (C2)-(C4),
+// with `reserved` capacity already consumed (migration residue).
+// Returns nullopt if the LP is infeasible.
+std::optional<SwitchLpResult> redistribute_on_switch(
+    const SwitchModel& sw, const std::vector<PinnedSeed>& seeds,
+    const ResourcesValue& reserved, std::uint64_t* lp_solves = nullptr);
+
+// Component-wise minimal feasible allocation of a variant within `cap`
+// (an LP minimizing total allocation subject to the variant constraints).
+// nullopt = infeasible within the capacity box.
+std::optional<ResourcesValue> minimal_allocation(const UtilityVariant& variant,
+                                                 const ResourcesValue& cap);
+
+// Utility of a variant at its minimal feasible allocation inside an
+// unbounded box (the "minimum utility" that orders tasks in Algorithm 1).
+double min_utility(const UtilityVariant& variant);
+
+}  // namespace farm::placement

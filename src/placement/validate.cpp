@@ -1,0 +1,154 @@
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "placement/model.h"
+
+namespace farm::placement {
+
+namespace {
+
+double res_dim(const ResourcesValue& r, std::size_t d) {
+  switch (d) {
+    case almanac::kVCpu:
+      return r.vCPU;
+    case almanac::kRam:
+      return r.RAM;
+    case almanac::kTcam:
+      return r.TCAM;
+    default:
+      return r.PCIe;
+  }
+}
+
+}  // namespace
+
+double recompute_utility(const PlacementProblem& problem,
+                         const PlacementResult& result) {
+  double total = 0;
+  for (const auto& e : result.placements) {
+    const SeedModel* seed = nullptr;
+    for (const auto& s : problem.seeds)
+      if (s.id == e.seed) seed = &s;
+    if (!seed) continue;
+    if (e.variant < 0 ||
+        static_cast<std::size_t>(e.variant) >= seed->variants.size())
+      continue;
+    total += seed->variants[static_cast<std::size_t>(e.variant)].utility(
+        e.alloc);
+  }
+  return total;
+}
+
+std::vector<std::string> validate_placement(const PlacementProblem& problem,
+                                            const PlacementResult& result,
+                                            double tolerance) {
+  std::vector<std::string> errors;
+  auto fail = [&errors](std::string msg) { errors.push_back(std::move(msg)); };
+
+  std::map<std::string, const SeedModel*> seed_by_id;
+  for (const auto& s : problem.seeds) seed_by_id[s.id] = &s;
+
+  // Per-seed checks + uniqueness.
+  std::set<std::string> placed;
+  std::map<std::string, std::set<std::string>> task_placed, task_all;
+  for (const auto& s : problem.seeds) task_all[s.task].insert(s.id);
+
+  for (const auto& e : result.placements) {
+    auto it = seed_by_id.find(e.seed);
+    if (it == seed_by_id.end()) {
+      fail("unknown seed placed: " + e.seed);
+      continue;
+    }
+    const SeedModel& s = *it->second;
+    if (!placed.insert(e.seed).second) {
+      fail("seed placed twice: " + e.seed);  // C1: at most one switch
+      continue;
+    }
+    task_placed[s.task].insert(e.seed);
+    if (std::find(s.candidates.begin(), s.candidates.end(), e.node) ==
+        s.candidates.end())
+      fail("seed " + e.seed + " placed outside N^s");
+    if (e.variant < 0 ||
+        static_cast<std::size_t>(e.variant) >= s.variants.size()) {
+      fail("seed " + e.seed + " uses invalid variant");
+      continue;
+    }
+    // C2: allocation inside the variant's feasibility region.
+    const auto& variant = s.variants[static_cast<std::size_t>(e.variant)];
+    for (const auto& c : variant.constraints)
+      if (c.eval(e.alloc) < -tolerance)
+        fail("seed " + e.seed + " violates C2: " + c.to_string());
+    // C3: allocation within the switch's total capacity.
+    const SwitchModel* sw = problem.switch_model(e.node);
+    if (!sw) {
+      fail("seed " + e.seed + " placed on unknown switch");
+      continue;
+    }
+    for (std::size_t d = 0; d < almanac::kNumResources; ++d)
+      if (res_dim(e.alloc, d) > res_dim(sw->capacity, d) + tolerance)
+        fail("seed " + e.seed + " violates C3 on dim " + std::to_string(d));
+  }
+
+  // C1: a task is placed entirely or not at all.
+  for (const auto& [task, all] : task_all) {
+    auto it = task_placed.find(task);
+    std::size_t n = it == task_placed.end() ? 0 : it->second.size();
+    if (n != 0 && n != all.size())
+      fail("task " + task + " partially placed (" + std::to_string(n) + "/" +
+           std::to_string(all.size()) + ")");
+  }
+
+  // C4: per-switch totals. Non-poll resources sum allocations (plus the
+  // migration double-charge for seeds that moved away from their current
+  // switch); the poll resource sums per-subject maxima.
+  for (const auto& sw : problem.switches) {
+    ResourcesValue used{};
+    std::map<std::string, double> pollres;  // subject → demand
+    for (const auto& e : result.placements) {
+      const SeedModel& s = *seed_by_id.at(e.seed);
+      bool here = e.node == sw.node;
+      // Migration residue: seed currently on sw but moving elsewhere keeps
+      // its old allocation until state transfer completes.
+      auto cur = problem.current_placement.find(e.seed);
+      bool migrating_away = cur != problem.current_placement.end() &&
+                            cur->second == sw.node && e.node != sw.node;
+      if (here) {
+        used.vCPU += e.alloc.vCPU;
+        used.RAM += e.alloc.RAM;
+        used.TCAM += e.alloc.TCAM;
+        for (const auto& p : s.polls) {
+          double demand = sw.alpha_poll * p.inv_ival.eval(e.alloc);
+          auto [it2, _] = pollres.try_emplace(p.subject, 0.0);
+          it2->second = std::max(it2->second, demand);
+        }
+      }
+      if (migrating_away) {
+        auto ra = problem.current_alloc.find(e.seed);
+        if (ra != problem.current_alloc.end()) {
+          used.vCPU += ra->second.vCPU;
+          used.RAM += ra->second.RAM;
+          used.TCAM += ra->second.TCAM;
+          for (const auto& p : s.polls) {
+            double demand = sw.alpha_poll * p.inv_ival.eval(ra->second);
+            auto [it2, _] = pollres.try_emplace(p.subject, 0.0);
+            it2->second = std::max(it2->second, demand);
+          }
+        }
+      }
+    }
+    if (used.vCPU > sw.capacity.vCPU + tolerance ||
+        used.RAM > sw.capacity.RAM + tolerance ||
+        used.TCAM > sw.capacity.TCAM + tolerance)
+      fail("switch " + std::to_string(sw.node) + " over non-poll capacity");
+    double total_poll = 0;
+    for (const auto& [_, d] : pollres) total_poll += d;
+    if (total_poll > sw.capacity.PCIe + tolerance)
+      fail("switch " + std::to_string(sw.node) + " over polling capacity");
+  }
+
+  return errors;
+}
+
+}  // namespace farm::placement

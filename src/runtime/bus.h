@@ -1,0 +1,99 @@
+// Message bus: the control-plane fabric between soils, harvesters, and the
+// seeder (the role RabbitMQ plays in the paper's implementation, §V-A c).
+//
+// Every message crosses the out-of-band management network: the bus charges
+// the control-path latency plus serialization time at the control link
+// bandwidth, and meters bytes per direction — the network-load numbers of
+// Fig. 4 read these meters.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/soil.h"
+#include "sim/metrics.h"
+
+namespace farm::runtime {
+
+class Harvester;
+
+class MessageBus : public SoilNetwork {
+ public:
+  explicit MessageBus(sim::Engine& engine) : engine_(engine) {}
+
+  // Registration. Soils/harvesters must outlive the bus or deregister.
+  void attach_soil(Soil& soil);
+  void detach_soil(net::NodeId node);
+  void attach_harvester(const std::string& task, Harvester& harvester);
+  void detach_harvester(const std::string& task);
+
+  // --- SoilNetwork (seed-originated traffic) -------------------------------
+  void to_harvester(const SeedId& from, net::NodeId from_switch,
+                    const Value& payload) override;
+  void to_machine(const SeedId& from, net::NodeId from_switch,
+                  const std::string& machine,
+                  std::optional<std::int64_t> dst_switch,
+                  const Value& payload) override;
+
+  // --- Harvester/seeder-originated traffic ---------------------------------
+  void harvester_to_seed(const std::string& task, const SeedId& to,
+                         const Value& payload);
+  // All seeds of (task, machine) everywhere; machine empty = every seed of
+  // the task.
+  void harvester_broadcast(const std::string& task, const std::string& machine,
+                           const Value& payload);
+
+  // Seed lookup across all attached soils.
+  std::vector<std::pair<Soil*, Seed*>> seeds_of(
+      const std::string& task, const std::string& machine) const;
+  Soil* soil_at(net::NodeId node) const;
+
+  // --- Metering ------------------------------------------------------------
+  // Bytes that crossed the management network toward central components
+  // (the collector-side load FARM minimizes) and away from them.
+  const sim::ByteMeter& upstream() const { return upstream_; }
+  const sim::ByteMeter& downstream() const { return downstream_; }
+
+ private:
+  sim::Duration control_delay(std::size_t bytes) const;
+
+  sim::Engine& engine_;
+  std::unordered_map<net::NodeId, Soil*> soils_;
+  std::unordered_map<std::string, Harvester*> harvesters_;
+  sim::ByteMeter upstream_;
+  sim::ByteMeter downstream_;
+};
+
+// Per-task centralized coordinator (§II-C a). Subclasses implement the
+// global reaction logic; the base class handles transport.
+class Harvester {
+ public:
+  Harvester(sim::Engine& engine, std::string task)
+      : engine_(engine), task_(std::move(task)) {}
+  virtual ~Harvester() = default;
+
+  const std::string& task() const { return task_; }
+  sim::Engine& engine() { return engine_; }
+
+  // Called by the bus when a seed reports in.
+  virtual void on_seed_message(const SeedId& from, net::NodeId from_switch,
+                               const Value& payload) = 0;
+
+  void bind(MessageBus& bus) { bus_ = &bus; }
+  void send_to_seed(const SeedId& to, const Value& payload) {
+    if (bus_) bus_->harvester_to_seed(task_, to, payload);
+  }
+  void broadcast(const std::string& machine, const Value& payload) {
+    if (bus_) bus_->harvester_broadcast(task_, machine, payload);
+  }
+
+ private:
+  sim::Engine& engine_;
+  std::string task_;
+  MessageBus* bus_ = nullptr;
+};
+
+}  // namespace farm::runtime

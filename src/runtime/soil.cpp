@@ -1,0 +1,474 @@
+#include "runtime/soil.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace farm::runtime {
+
+namespace {
+constexpr sim::TaskId kSoilTask = 1;  // the soil's own CPU identity
+}
+
+Soil::Soil(sim::Engine& engine, asic::SwitchChassis& chassis,
+           SoilConfig config, SoilNetwork* network)
+    : engine_(engine),
+      chassis_(chassis),
+      config_(config),
+      network_(network),
+      exec_cost_([](const std::string&) { return sim::Duration::ms(10); }),
+      rng_(0x501Cull ^ chassis.node()) {}
+
+Soil::~Soil() {
+  for (auto& seed : seeds_) seed->stop();
+  for (auto& reg : regs_) {
+    engine_.cancel(reg->timer);
+    if (reg->sampler) chassis_.remove_sampler(reg->sampler);
+  }
+}
+
+Seed* Soil::deploy(SeedId id, std::shared_ptr<MachineImage> image,
+                   std::unordered_map<std::string, Value> externals,
+                   std::optional<ResourcesValue> allocation,
+                   const SeedSnapshot* snapshot) {
+  FARM_CHECK_MSG(find(id) == nullptr, "seed already deployed");
+  auto seed = std::make_unique<Seed>(std::move(id), std::move(image), *this,
+                                     std::move(externals));
+  Seed* raw = seed.get();
+  seeds_.push_back(std::move(seed));
+  allocations_[raw->id().to_string()] =
+      allocation.value_or(config_.default_alloc);
+  if (snapshot)
+    raw->start_from(*snapshot);
+  else
+    raw->start();
+  check_depletion();
+  return raw;
+}
+
+bool Soil::undeploy(const SeedId& id) {
+  auto it = std::find_if(seeds_.begin(), seeds_.end(), [&](const auto& s) {
+    return s->id() == id;
+  });
+  if (it == seeds_.end()) return false;
+  (*it)->stop();
+  clear_registrations(**it);
+  allocations_.erase(id.to_string());
+  seeds_.erase(it);
+  return true;
+}
+
+Seed* Soil::find(const SeedId& id) {
+  for (auto& s : seeds_)
+    if (s->id() == id) return s.get();
+  return nullptr;
+}
+
+std::vector<Seed*> Soil::seeds() {
+  std::vector<Seed*> out;
+  out.reserve(seeds_.size());
+  for (auto& s : seeds_) out.push_back(s.get());
+  return out;
+}
+
+// --- Resources ---------------------------------------------------------------
+
+ResourcesValue Soil::allocation(const Seed& seed) const {
+  auto it = allocations_.find(seed.id().to_string());
+  return it == allocations_.end() ? config_.default_alloc : it->second;
+}
+
+void Soil::set_allocation(const SeedId& id, const ResourcesValue& alloc) {
+  Seed* seed = find(id);
+  if (!seed) return;
+  allocations_[id.to_string()] = alloc;
+  seed->on_realloc(alloc);
+  // Poll intervals may depend on the allocation (ival = f(res)); seeds
+  // whose trigger specs were initialized from res() re-arm via the realloc
+  // handler; independent of that, group periods get refreshed.
+  refresh_triggers(*seed);
+  check_depletion();
+}
+
+ResourcesValue Soil::total_capacity() const {
+  const auto& c = chassis_.config();
+  return ResourcesValue{
+      static_cast<double>(c.cpu_cores), static_cast<double>(c.ram_mb),
+      static_cast<double>(c.tcam_monitoring_reserved),
+      c.pcie_bandwidth_bps / 1e6};
+}
+
+ResourcesValue Soil::used_resources() const {
+  ResourcesValue used{};
+  for (const auto& [_, a] : allocations_) {
+    used.vCPU += a.vCPU;
+    used.RAM += a.RAM;
+    used.TCAM += a.TCAM;
+    used.PCIe += a.PCIe;
+  }
+  return used;
+}
+
+void Soil::check_depletion() {
+  if (!depletion_cb_) return;
+  ResourcesValue used = used_resources(), cap = total_capacity();
+  auto low = [](double u, double c) { return c > 0 && u > 0.9 * c; };
+  if (low(used.vCPU, cap.vCPU) || low(used.RAM, cap.RAM) ||
+      low(used.TCAM, cap.TCAM) || low(used.PCIe, cap.PCIe))
+    depletion_cb_(*this);
+}
+
+// --- Seed-facing services -------------------------------------------------------
+
+sim::Duration Soil::comm_latency() const {
+  using namespace sim::cost;
+  if (config_.seeds_as_threads) return kSharedBufferMsgLatency;
+  return kRpcMsgBaseLatency +
+         kRpcPerSeedDispatch * static_cast<std::int64_t>(seeds_.size());
+}
+
+sim::TaskId Soil::cpu_task_of(const Seed& seed) const {
+  return std::hash<std::string>{}(seed.id().to_string()) | 0x8000;
+}
+
+void Soil::seed_send(Seed& seed, const Value& payload,
+                     const SendTarget& target) {
+  chassis_.cpu().submit(cpu_task_of(seed), sim::cost::kPollWakeupCpu);
+  if (!network_) return;
+  if (target.to_harvester) {
+    network_->to_harvester(seed.id(), node(), payload);
+  } else {
+    network_->to_machine(seed.id(), node(), target.machine, target.dst,
+                         payload);
+  }
+}
+
+void Soil::seed_exec(Seed& seed, const std::string& command) {
+  chassis_.cpu().submit(cpu_task_of(seed), exec_cost_(command));
+}
+
+void Soil::add_monitor_rule(Seed& seed, asic::TcamRule rule) {
+  rule.region = asic::TcamRegion::kMonitoring;
+  if (rule.note.empty()) rule.note = seed.id().to_string();
+  if (!chassis_.tcam().add_rule(rule))
+    FARM_LOG(kWarn) << seed.id().to_string()
+                    << ": monitoring TCAM region full, rule dropped";
+}
+
+void Soil::remove_monitor_rule(const net::Filter& pattern) {
+  chassis_.tcam().remove_rules(pattern, asic::TcamRegion::kMonitoring);
+}
+
+std::optional<asic::TcamRule> Soil::get_monitor_rule(
+    const net::Filter& pattern) {
+  const asic::TcamRule* r =
+      chassis_.tcam().find(pattern, asic::TcamRegion::kMonitoring);
+  return r ? std::optional(*r) : std::nullopt;
+}
+
+void Soil::deliver_to_seed(const SeedId& id, const Value& payload,
+                           bool from_harvester,
+                           const std::string& from_machine,
+                           std::int64_t from_switch) {
+  engine_.schedule_after(
+      comm_latency(),
+      [this, id, payload, from_harvester, from_machine, from_switch] {
+        Seed* seed = find(id);
+        if (!seed) return;  // undeployed while in flight
+        chassis_.cpu().submit(
+            cpu_task_of(*seed), sim::cost::kPollWakeupCpu,
+            [this, id, payload, from_harvester, from_machine, from_switch] {
+              if (Seed* s = find(id))
+                s->on_message(payload, from_harvester, from_machine,
+                              from_switch);
+            });
+      });
+}
+
+// --- Trigger registration ---------------------------------------------------
+
+void Soil::clear_registrations(Seed& seed) {
+  for (auto& reg : regs_) {
+    if (reg->seed != &seed) continue;
+    engine_.cancel(reg->timer);
+    if (reg->sampler) {
+      chassis_.remove_sampler(reg->sampler);
+      reg->sampler = 0;
+    }
+  }
+  std::erase_if(regs_, [&](const auto& reg) { return reg->seed == &seed; });
+}
+
+void Soil::refresh_triggers(Seed& seed) {
+  clear_registrations(seed);
+  for (const auto& trig : seed.active_triggers()) register_trigger(seed, trig);
+
+  // Rebuild aggregated poll groups: group period = min member interval.
+  std::unordered_map<std::string, double> wanted;
+  for (const auto& reg : regs_) {
+    if (reg->type != almanac::TriggerType::kPoll || !config_.aggregate_polls)
+      continue;
+    auto [it, inserted] = wanted.try_emplace(reg->subject_key,
+                                             reg->ival_seconds);
+    if (!inserted) it->second = std::min(it->second, reg->ival_seconds);
+  }
+  for (auto it = groups_.begin(); it != groups_.end();) {
+    if (!wanted.count(it->first)) {
+      it = groups_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& [key, period] : wanted) {
+    auto it = groups_.find(key);
+    if (it == groups_.end()) {
+      PollGroup g;
+      g.period_seconds = period;
+      g.task = std::make_unique<sim::PeriodicTask>(
+          engine_, sim::Duration::from_seconds(period),
+          [this, key = key] { fire_poll_group(key); });
+      g.task->start();
+      groups_.emplace(key, std::move(g));
+    } else if (it->second.period_seconds != period) {
+      it->second.period_seconds = period;
+      it->second.task->set_period(sim::Duration::from_seconds(period));
+    }
+  }
+}
+
+void Soil::register_trigger(Seed& seed, const Seed::ActiveTrigger& trig) {
+  auto reg = std::make_unique<Registration>();
+  reg->seed = &seed;
+  reg->var = trig.var;
+  reg->type = trig.type;
+  reg->ival_seconds = trig.spec.ival_seconds;
+  reg->what = trig.spec.what;
+  reg->subject_key = trig.spec.what.canonical_key();
+  reg->next_due =
+      engine_.now() + sim::Duration::from_seconds(trig.spec.ival_seconds);
+  Registration* raw = reg.get();
+  regs_.push_back(std::move(reg));
+
+  switch (trig.type) {
+    case almanac::TriggerType::kTime:
+      schedule_poll(*raw);  // shares the self-re-arming timer plumbing
+      break;
+    case almanac::TriggerType::kPoll:
+      if (!config_.aggregate_polls) schedule_poll(*raw);
+      // Aggregated polls are driven by their group task (refresh_triggers).
+      break;
+    case almanac::TriggerType::kProbe: {
+      raw->sampler = chassis_.add_sampler(
+          1.0, [this, raw](const net::PacketHeader& h, std::uint64_t) {
+            if (!raw->what.matches(h)) return;
+            // Reservoir-sample within the gating interval so the delivered
+            // packet is uniform over matching arrivals, not merely the
+            // first flow the traffic driver happened to tick.
+            ++raw->reservoir_seen;
+            if (rng_.next_below(raw->reservoir_seen) == 0) raw->reservoir = h;
+            if (engine_.now() < raw->next_due) return;  // rate lower bound
+            raw->next_due = engine_.now() +
+                            sim::Duration::from_seconds(raw->ival_seconds);
+            net::PacketHeader sample = raw->reservoir;
+            raw->reservoir_seen = 0;
+            // The sample crosses the PCIe bus before the seed sees it.
+            SeedId id = raw->seed->id();
+            std::string var = raw->var;
+            chassis_.pcie().request(1, [this, id, var, sample] {
+              engine_.schedule_after(
+                  comm_latency(), [this, id, var, sample] {
+                    if (Seed* s = find(id))
+                      chassis_.cpu().submit(
+                          cpu_task_of(*s), sim::cost::kPollWakeupCpu,
+                          [this, id, var, sample] {
+                            if (Seed* s2 = find(id)) s2->on_probe(var, sample);
+                          });
+                  });
+            });
+          });
+      break;
+    }
+  }
+}
+
+// Arms a per-registration timer used by time triggers and unaggregated
+// polls. Fires at next_due, performs the action, then re-arms.
+void Soil::schedule_poll(Registration& reg) {
+  Registration* raw = &reg;
+  sim::Duration delay = raw->next_due - engine_.now();
+  if (!delay.is_positive()) delay = sim::Duration::ns(1);
+  raw->timer = engine_.schedule_after(delay, [this, raw] {
+    // The registration is alive: clear_registrations cancels this event
+    // before destroying it.
+    sim::TimePoint due = raw->next_due;
+    raw->next_due = due + sim::Duration::from_seconds(raw->ival_seconds);
+    if (raw->type == almanac::TriggerType::kTime) {
+      SeedId id = raw->seed->id();
+      std::string var = raw->var;
+      engine_.schedule_after(comm_latency(), [this, id, var, due] {
+        if (Seed* s = find(id))
+          chassis_.cpu().submit(cpu_task_of(*s), sim::cost::kPollWakeupCpu,
+                                [this, id, var, due] {
+                                  if (Seed* s2 = find(id)) {
+                                    poll_lateness_.record(
+                                        (engine_.now() - due).seconds());
+                                    s2->on_time(var);
+                                  }
+                                });
+      });
+    } else {
+      // Unaggregated poll: a dedicated PCIe request for this seed alone.
+      ++poll_requests_;
+      int entries = subject_entry_count(raw->what);
+      net::Filter what = raw->what;
+      SeedId id = raw->seed->id();
+      std::string var = raw->var;
+      chassis_.pcie().request(entries, [this, what, id, var, due] {
+        StatsValue stats;
+        *stats.entries = resolve_subject(what);
+        // Per-request soil bookkeeping happens even without aggregation.
+        chassis_.cpu().submit(kSoilTask, sim::cost::kAggregatePerSeedCpu);
+        deliver_poll_to(id, var, stats, due);
+      });
+    }
+    schedule_poll(*raw);
+  });
+}
+
+void Soil::fire_poll_group(const std::string& subject_key) {
+  // Members of this group.
+  std::vector<Registration*> members;
+  net::Filter what;
+  for (auto& reg : regs_)
+    if (reg->type == almanac::TriggerType::kPoll &&
+        reg->subject_key == subject_key) {
+      members.push_back(reg.get());
+      what = reg->what;
+    }
+  if (members.empty()) return;
+
+  // Which members are due by now (group fires at min period)?
+  std::vector<std::pair<SeedId, std::string>> due_targets;
+  std::vector<sim::TimePoint> due_times;
+  sim::TimePoint now = engine_.now();
+  for (Registration* m : members) {
+    if (m->next_due > now) continue;
+    due_targets.emplace_back(m->seed->id(), m->var);
+    due_times.push_back(m->next_due);
+    // Catch up without bursting.
+    m->next_due =
+        std::max(m->next_due + sim::Duration::from_seconds(m->ival_seconds),
+                 now);
+  }
+  if (due_targets.empty()) return;
+
+  // One PCIe transfer serves the whole group — the aggregation benefit.
+  ++poll_requests_;
+  int entries = subject_entry_count(what);
+  bool as_threads = config_.seeds_as_threads;
+  chassis_.pcie().request(
+      entries, [this, what, due_targets, due_times, as_threads] {
+        StatsValue stats;
+        *stats.entries = resolve_subject(what);
+        // Soil-side aggregation cost: per served seed, plus an extra
+        // fan-out copy for process-seeds (Fig. 9).
+        sim::Duration agg_cpu =
+            sim::cost::kAggregatePerSeedCpu *
+            static_cast<std::int64_t>(due_targets.size());
+        if (!as_threads)
+          agg_cpu += sim::cost::kProcessFanoutCpu *
+                     static_cast<std::int64_t>(due_targets.size());
+        chassis_.cpu().submit(kSoilTask, agg_cpu);
+        for (std::size_t i = 0; i < due_targets.size(); ++i)
+          deliver_poll_to(due_targets[i].first, due_targets[i].second, stats,
+                          due_times[i]);
+      });
+}
+
+void Soil::deliver_poll(Registration& reg, const StatsValue& stats,
+                        sim::TimePoint due) {
+  deliver_poll_to(reg.seed->id(), reg.var, stats, due);
+}
+
+void Soil::deliver_poll_to(const SeedId& id, const std::string& var,
+                           const StatsValue& stats, sim::TimePoint due) {
+  sim::TimePoint available = engine_.now();
+  std::size_t n_entries = stats.entries->size();
+  engine_.schedule_after(
+      comm_latency(), [this, id, var, stats, due, available, n_entries] {
+        Seed* seed = find(id);
+        if (!seed) return;
+        // Communication latency is measured here — at IPC arrival, before
+        // the handler queues for CPU (what Fig. 10 plots); handler-side
+        // queueing shows up in poll lateness instead.
+        delivery_latency_.record((engine_.now() - available).seconds());
+        sim::Duration handler_cpu =
+            sim::cost::kPollWakeupCpu +
+            sim::cost::kPollEntryCpu * static_cast<std::int64_t>(n_entries);
+        chassis_.cpu().submit(
+            cpu_task_of(*seed), handler_cpu,
+            [this, id, var, stats, due] {
+              Seed* s = find(id);
+              if (!s) return;
+              ++poll_deliveries_;
+              poll_lateness_.record((engine_.now() - due).seconds());
+              s->on_poll(var, stats);
+            });
+      });
+}
+
+std::vector<almanac::StatEntry> Soil::resolve_subject(
+    const net::Filter& what) {
+  std::vector<almanac::StatEntry> out;
+  int fp = what.iface_footprint();
+  if (fp == net::Filter::kAllIfaces) {
+    for (int i = 0; i < chassis_.n_ifaces(); ++i) {
+      const auto& p = chassis_.port_stats(i);
+      out.push_back({"port:" + std::to_string(i), i, asic::kInvalidRule,
+                     p.tx_packets, p.tx_bytes});
+    }
+    return out;
+  }
+  if (fp > 0) {
+    for (std::int32_t i : what.iface_atoms()) {
+      if (i < 0 || i >= chassis_.n_ifaces()) continue;
+      const auto& p = chassis_.port_stats(i);
+      out.push_back({"port:" + std::to_string(i), i, asic::kInvalidRule,
+                     p.tx_packets, p.tx_bytes});
+    }
+    return out;
+  }
+  // Flow-level subject: read (or install) a monitoring count rule.
+  const asic::TcamRule* rule =
+      chassis_.tcam().find(what, asic::TcamRegion::kMonitoring);
+  if (!rule) {
+    asic::TcamRule r;
+    r.pattern = what;
+    r.action = asic::RuleAction::kCount;
+    r.note = "soil-poll";
+    auto id = chassis_.tcam().add_rule(r);
+    if (!id) return out;  // monitoring region full
+    rule = chassis_.tcam().find(*id);
+  }
+  out.push_back({what.canonical_key(), -1, rule->id, rule->hit_packets,
+                 rule->hit_bytes});
+  return out;
+}
+
+int Soil::subject_entry_count(const net::Filter& what) {
+  int fp = what.iface_footprint();
+  if (fp == net::Filter::kAllIfaces) return chassis_.n_ifaces();
+  if (fp > 0) return fp;
+  return 1;
+}
+
+double Soil::polling_accuracy() const {
+  if (poll_lateness_.empty()) return 1.0;
+  // A delivery is accurate when its lateness stays within 10 ms — one
+  // polling interval of the paper's coarse setting. Under CPU saturation
+  // the handler queue grows and this fraction collapses (Fig. 6).
+  return static_cast<double>(poll_lateness_.count_below(0.010)) /
+         static_cast<double>(poll_lateness_.count());
+}
+
+}  // namespace farm::runtime

@@ -1,0 +1,24 @@
+// Wire-size estimation for Almanac values — used for migration cost and
+// control-channel bandwidth accounting (Fig. 4 measures exactly these
+// bytes).
+#pragma once
+
+#include <cstddef>
+
+#include "almanac/value.h"
+
+namespace farm::runtime {
+
+inline std::size_t value_wire_bytes(const almanac::Value& v) {
+  if (v.is_string()) return 8 + v.as_string().size();
+  if (v.is_list()) {
+    std::size_t n = 8;
+    for (const auto& e : *v.as_list()) n += value_wire_bytes(e);
+    return n;
+  }
+  if (v.is_stats()) return 8 + v.as_stats().entries->size() * 32;
+  if (v.is_filter()) return 8 + v.as_filter().canonical_key().size();
+  return 16;
+}
+
+}  // namespace farm::runtime

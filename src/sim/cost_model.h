@@ -1,0 +1,68 @@
+// Calibration constants for the simulation substrate.
+//
+// Values stated by the paper are used verbatim (PCIe poll capacity, ASIC
+// line rate); the rest are order-of-magnitude realistic defaults for the
+// switch CPUs the paper lists (Xeon/Atom class). All experiment-visible
+// cost assumptions live here so they can be re-calibrated in one place.
+#pragma once
+
+#include "util/time.h"
+
+namespace farm::sim::cost {
+
+using util::Duration;
+
+// --- Buses (§VI-E a: "PCIe bus capacity for polling traffic statistics is
+// limited to 8 Mbps ... while their ASICs support 100 Gbps (1:12500)").
+inline constexpr double kPciePollBandwidthBps = 8e6;
+inline constexpr double kAsicBandwidthBps = 100e9;
+// Size of one polled statistics entry crossing the PCIe bus (counter id +
+// 64-bit value). At 16 B, polling all 48 ports of a switch at the paper's
+// 1 ms headline accuracy needs 6.1 Mbps — feasible within the 8 Mbps
+// channel, while a second independent (unaggregated) stream is not.
+inline constexpr int kStatEntryBytes = 16;
+// Fixed per-poll-request PCIe transaction overhead.
+inline constexpr Duration kPcieRequestOverhead = Duration::us(10);
+
+// --- Soil <-> seed communication (§VI-E c, Fig. 10).
+// Shared ring buffer between soil and thread-seeds: one enqueue/dequeue.
+inline constexpr Duration kSharedBufferMsgLatency = Duration::us(2);
+// gRPC-style loopback RPC to process-seeds: serialization + socket + wakeup,
+// plus per-registered-seed dispatch cost that makes gRPC latency grow
+// linearly with deployed seed count (Fig. 10).
+inline constexpr Duration kRpcMsgBaseLatency = Duration::us(120);
+inline constexpr Duration kRpcPerSeedDispatch = Duration::us(4);
+
+// --- CPU demands.
+// Handling one polled statistics entry inside a seed (filter + update).
+inline constexpr Duration kPollEntryCpu = Duration::ns(400);
+// Fixed per-poll-event seed wakeup cost.
+inline constexpr Duration kPollWakeupCpu = Duration::us(3);
+// Soil-side cost to aggregate one seed's poll request into a shared one.
+inline constexpr Duration kAggregatePerSeedCpu = Duration::us(1);
+// Extra soil CPU when the aggregation result must be fanned out to
+// process-seeds over RPC rather than handed to threads in place (Fig. 9).
+inline constexpr Duration kProcessFanoutCpu = Duration::us(25);
+// OS context switch between distinct runnable tasks.
+inline constexpr Duration kContextSwitch = Duration::us(5);
+// sFlow agent: sampling a packet and emitting a datagram is cheap and
+// constant — the agent does no analysis (Fig. 5 flat line).
+inline constexpr Duration kSflowSampleCpu = Duration::us(8);
+// Collector-side cost to process one received sample/record.
+inline constexpr Duration kCollectorRecordCpu = Duration::us(6);
+
+// --- Network.
+inline constexpr double kDataLinkBandwidthBps = 10e9;
+inline constexpr Duration kLinkLatencyPerHop = Duration::us(5);
+// Management-network hop from any switch to the central collector /
+// harvester (out-of-band 1 GbE in the paper's DC).
+inline constexpr Duration kControlPathLatency = Duration::us(150);
+inline constexpr double kControlLinkBandwidthBps = 1e9;
+
+// --- Message sizes (bytes on the wire).
+inline constexpr int kSflowDatagramBytes = 128;
+inline constexpr int kSonataRecordBytes = 96;
+inline constexpr int kFarmReportBytes = 64;
+inline constexpr int kIpfixHeaderBytes = 16;
+
+}  // namespace farm::sim::cost

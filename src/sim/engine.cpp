@@ -1,0 +1,86 @@
+#include "sim/engine.h"
+
+namespace farm::sim {
+
+EventId Engine::schedule_at(TimePoint t, Callback cb) {
+  FARM_CHECK_MSG(t >= now_, "cannot schedule events in the past");
+  EventId id = next_id_++;
+  heap_.push(Event{t, id, std::move(cb)});
+  live_.insert(id);
+  return id;
+}
+
+EventId Engine::schedule_after(Duration d, Callback cb) {
+  FARM_CHECK_MSG(d >= Duration{}, "negative delay");
+  return schedule_at(now_ + d, std::move(cb));
+}
+
+void Engine::cancel(EventId id) {
+  if (id != kInvalidEvent) live_.erase(id);
+}
+
+bool Engine::step() {
+  while (!heap_.empty()) {
+    Event ev = heap_.top();
+    heap_.pop();
+    if (!live_.erase(ev.id)) continue;  // cancelled tombstone
+    now_ = ev.at;
+    ++executed_;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run_until(TimePoint t) {
+  while (!heap_.empty() && heap_.top().at <= t) {
+    if (!step()) break;
+  }
+  if (now_ < t) now_ = t;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+PeriodicTask::PeriodicTask(Engine& engine, Duration period,
+                           Engine::Callback cb)
+    : engine_(engine), period_(period), cb_(std::move(cb)) {
+  FARM_CHECK_MSG(period_.is_positive(), "period must be > 0");
+}
+
+void PeriodicTask::start() {
+  if (active_) return;
+  active_ = true;
+  arm();
+}
+
+void PeriodicTask::stop() {
+  active_ = false;
+  engine_.cancel(pending_);
+  pending_ = kInvalidEvent;
+}
+
+void PeriodicTask::set_period(Duration period) {
+  FARM_CHECK_MSG(period.is_positive(), "period must be > 0");
+  period_ = period;
+  if (active_) {
+    // Re-arm so the new rate applies immediately rather than after one
+    // stale interval; seeds shrinking their polling period rely on this.
+    engine_.cancel(pending_);
+    arm();
+  }
+}
+
+void PeriodicTask::arm() {
+  pending_ = engine_.schedule_after(period_, [this] {
+    pending_ = kInvalidEvent;
+    cb_();
+    // cb may have called stop() (active_ now false) or set_period()
+    // (which already re-armed); only arm when neither happened.
+    if (active_ && pending_ == kInvalidEvent) arm();
+  });
+}
+
+}  // namespace farm::sim

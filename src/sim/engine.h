@@ -1,0 +1,104 @@
+// Discrete-event simulation engine.
+//
+// Every FARM experiment runs inside one Engine: switches, links, seeds,
+// collectors, and harvesters all schedule callbacks on the shared virtual
+// clock. Determinism rule: events at the same instant execute in
+// (time, sequence-number) order, so a run is a pure function of its inputs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/check.h"
+#include "util/time.h"
+
+namespace farm::sim {
+
+using util::Duration;
+using util::TimePoint;
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  // Schedules cb at absolute virtual time t (>= now). Returns a handle
+  // usable with cancel().
+  EventId schedule_at(TimePoint t, Callback cb);
+  // Schedules cb after the given non-negative delay.
+  EventId schedule_after(Duration d, Callback cb);
+  // Cancels a pending event; cancelling an already-fired or cancelled event
+  // is a harmless no-op (components often race their own timers).
+  void cancel(EventId id);
+
+  // Executes the next pending event; returns false when the queue is empty.
+  bool step();
+  // Runs events with timestamp <= t, then advances the clock to exactly t.
+  void run_until(TimePoint t);
+  void run_for(Duration d) { run_until(now_ + d); }
+  // Drains the whole queue (use only for workloads that terminate).
+  void run();
+
+  std::size_t pending_events() const { return live_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint at;
+    EventId id;
+    Callback cb;
+    // Min-heap by (time, id); id breaks ties deterministically in
+    // scheduling order.
+    bool operator>(const Event& o) const {
+      return at != o.at ? at > o.at : id > o.id;
+    }
+  };
+
+  TimePoint now_;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  // Scheduled-but-not-yet-executed (and not cancelled) event ids. Heap
+  // entries not in this set are tombstones skipped by step().
+  std::unordered_set<EventId> live_;
+};
+
+// Fires a callback at a fixed period until stopped. The period can be
+// changed on the fly (seeds adapt their polling rate at runtime, §III).
+class PeriodicTask {
+ public:
+  // cb runs first after one full period (not immediately at start()).
+  PeriodicTask(Engine& engine, Duration period, Engine::Callback cb);
+  ~PeriodicTask() { stop(); }
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void start();
+  void stop();
+  // Takes effect from the next firing onward.
+  void set_period(Duration period);
+  Duration period() const { return period_; }
+  bool running() const { return active_; }
+
+ private:
+  void arm();
+
+  Engine& engine_;
+  Duration period_;
+  Engine::Callback cb_;
+  EventId pending_ = kInvalidEvent;
+  bool active_ = false;
+};
+
+}  // namespace farm::sim

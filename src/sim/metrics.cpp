@@ -1,0 +1,53 @@
+#include "sim/metrics.h"
+
+#include <cmath>
+
+namespace farm::sim {
+
+void Stats::record(double v) {
+  samples_.push_back(v);
+  sorted_ = false;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+double Stats::stddev() const {
+  if (samples_.size() < 2) return 0;
+  double m = mean(), acc = 0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / (samples_.size() - 1));
+}
+
+double Stats::percentile(double p) const {
+  FARM_CHECK(p >= 0 && p <= 100);
+  if (empty()) return 0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+  if (rank == 0) rank = 1;
+  return samples_[rank - 1];
+}
+
+std::size_t Stats::count_below(double x) const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  return static_cast<std::size_t>(
+      std::lower_bound(samples_.begin(), samples_.end(), x) -
+      samples_.begin());
+}
+
+void Stats::reset() {
+  samples_.clear();
+  sorted_ = true;
+  sum_ = 0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+}  // namespace farm::sim

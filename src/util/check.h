@@ -1,0 +1,37 @@
+// Lightweight runtime-checking macros used across the FARM codebase.
+//
+// FARM_CHECK is always on (it guards invariants whose violation would make
+// simulation results meaningless); FARM_DCHECK compiles out in NDEBUG
+// builds and is reserved for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace farm::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "FARM_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace farm::util
+
+#define FARM_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr)) ::farm::util::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define FARM_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::farm::util::check_failed(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)
+
+#ifdef NDEBUG
+#define FARM_DCHECK(expr) ((void)0)
+#else
+#define FARM_DCHECK(expr) FARM_CHECK(expr)
+#endif

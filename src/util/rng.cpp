@@ -1,0 +1,106 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace farm::util {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  FARM_CHECK(bound > 0);
+  // Lemire's rejection method keeps the distribution exactly uniform.
+  std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::next_int(std::int64_t lo, std::int64_t hi) {
+  FARM_CHECK(lo <= hi);
+  std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_double(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+bool Rng::next_bool(double p) { return next_double() < p; }
+
+double Rng::next_exponential(double mean) {
+  FARM_CHECK(mean > 0);
+  double u;
+  do {
+    u = next_double();
+  } while (u == 0.0);
+  return -mean * std::log(u);
+}
+
+std::uint64_t Rng::next_zipf(std::uint64_t n, double s) {
+  FARM_CHECK(n > 0 && s > 0);
+  // Rejection-inversion sampling (Hörmann & Derflinger) is overkill for the
+  // sizes used in workloads; straightforward inverse-CDF over the harmonic
+  // weights is exact and fast enough for n up to ~1e5.
+  double h = 0;
+  for (std::uint64_t k = 1; k <= n; ++k) h += 1.0 / std::pow(double(k), s);
+  double u = next_double() * h, acc = 0;
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(double(k), s);
+    if (acc >= u) return k;
+  }
+  return n;
+}
+
+std::size_t Rng::next_weighted(const std::vector<double>& weights) {
+  FARM_CHECK(!weights.empty());
+  double total = 0;
+  for (double w : weights) {
+    FARM_CHECK(w >= 0);
+    total += w;
+  }
+  FARM_CHECK(total > 0);
+  double u = next_double() * total, acc = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (acc >= u) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace farm::util

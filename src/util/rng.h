@@ -1,0 +1,45 @@
+// Deterministic pseudo-random generation for workloads and experiments.
+//
+// We implement xoshiro256** seeded via SplitMix64 rather than relying on
+// std::mt19937 so that experiment streams are stable across standard-library
+// implementations (distribution results of <random> are not portable).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace farm::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  // Uniform over the full 64-bit range.
+  std::uint64_t next_u64();
+  // Uniform over [0, bound) without modulo bias. bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+  // Uniform integer in the closed interval [lo, hi].
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+  // Uniform double in [0, 1).
+  double next_double();
+  // Uniform double in [lo, hi).
+  double next_double(double lo, double hi);
+  // Bernoulli trial with probability p of returning true.
+  bool next_bool(double p);
+  // Exponentially distributed value with the given mean (> 0).
+  double next_exponential(double mean);
+  // Zipf-distributed rank in [1, n] with skew parameter s (> 0). Used to
+  // generate realistic flow-size skew for heavy-hitter workloads.
+  std::uint64_t next_zipf(std::uint64_t n, double s);
+  // Samples an index proportionally to non-negative weights.
+  std::size_t next_weighted(const std::vector<double>& weights);
+  // Forks an independent stream; deterministic given this stream's state.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace farm::util

@@ -1,0 +1,859 @@
+// Tests for the Almanac DSL: lexer, parser, compilation (inheritance),
+// interpretation, and the §III-B static analyses.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "almanac/analysis.h"
+#include "almanac/compile.h"
+#include "almanac/interp.h"
+#include "almanac/lexer.h"
+#include "almanac/parser.h"
+#include "net/topology.h"
+
+namespace farm::almanac {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A faithful transcription of the paper's List. 2 (heavy hitter seed) in the
+// concrete syntax of this implementation, plus the getHH / setHitterRules
+// helpers the paper abstracts.
+constexpr const char* kHeavyHitterSource = R"ALM(
+func list getHH(stats cur, list prev, long threshold) {
+  list hitters;
+  long i = 0;
+  while (i < stats_size(cur)) {
+    long seen = stats_bytes(cur, i);
+    long before = 0;
+    if (i < list_size(prev)) then { before = to_long(list_get(prev, i)); }
+    if (seen - before >= threshold) then {
+      list_append(hitters, stats_iface(cur, i));
+    }
+    i = i + 1;
+  }
+  return hitters;
+}
+
+func list snapshotBytes(stats cur) {
+  list out;
+  long i = 0;
+  while (i < stats_size(cur)) {
+    list_append(out, stats_bytes(cur, i));
+    i = i + 1;
+  }
+  return out;
+}
+
+func void setHitterRules(list hitters, action hitterAction) {
+  long i = 0;
+  while (i < list_size(hitters)) {
+    addTCAMRule(iface_filter(to_long(list_get(hitters, i))), hitterAction);
+    i = i + 1;
+  }
+}
+
+machine HH {
+  place all;
+  poll pollStats = Poll {
+    .ival = 10/res().PCIe, .what = port ANY
+  };
+  external long threshold = 1000000;
+  action hitterAction;
+  list hitters;
+  list prevBytes;
+
+  state observe {
+    util (res) {
+      if (res.vCPU >= 1 and res.RAM >= 100) then {
+        return min(res.vCPU, res.PCIe);
+      }
+    }
+    when (pollStats as stats) do {
+      hitters = getHH(stats, prevBytes, threshold);
+      prevBytes = snapshotBytes(stats);
+      if (not is_list_empty(hitters)) then {
+        transit HHdetected;
+      }
+    }
+  }
+  state HHdetected {
+    util (res) { return 100; }
+    when (enter) do {
+      send hitters to harvester;
+      setHitterRules(hitters, hitterAction);
+      transit observe;
+    }
+  }
+  when (recv long newTh from harvester)
+  do { threshold = newTh; }
+  when (recv action hitAct from harvester)
+  do { hitterAction = hitAct; }
+}
+)ALM";
+
+// A SeedHost fake recording every host interaction.
+class FakeHost : public SeedHost {
+ public:
+  ResourcesValue res{2, 256, 64, 4};
+  std::vector<asic::TcamRule> added_rules;
+  std::vector<net::Filter> removed;
+  std::vector<std::pair<Value, SendTarget>> sent;
+  std::vector<std::string> execs;
+  std::optional<std::string> transit;
+  std::vector<std::string> trigger_updates;
+  std::int64_t now = 0;
+
+  ResourcesValue resources() override { return res; }
+  void add_tcam_rule(const asic::TcamRule& rule) override {
+    added_rules.push_back(rule);
+  }
+  void remove_tcam_rule(const net::Filter& pattern) override {
+    removed.push_back(pattern);
+  }
+  std::optional<asic::TcamRule> get_tcam_rule(
+      const net::Filter& pattern) override {
+    for (const auto& r : added_rules)
+      if (r.pattern.canonical_key() == pattern.canonical_key()) return r;
+    return std::nullopt;
+  }
+  void send(const Value& payload, const SendTarget& target) override {
+    sent.emplace_back(payload, target);
+  }
+  void exec(const std::string& command) override { execs.push_back(command); }
+  void request_transit(const std::string& state) override { transit = state; }
+  void trigger_updated(const std::string& var) override {
+    trigger_updates.push_back(var);
+  }
+  std::int64_t switch_id() override { return 7; }
+  std::int64_t now_ms() override { return now; }
+  void log(const std::string&) override {}
+};
+
+// Helper: parse + compile a machine, keeping the Program alive.
+struct Compiled {
+  Program program;
+  CompiledMachine machine;
+};
+
+Compiled compile(const std::string& src, const std::string& name) {
+  Compiled c{parse_program(src), {}};
+  c.machine = compile_machine(c.program, name);
+  return c;
+}
+
+// --- Lexer -------------------------------------------------------------------
+
+TEST(LexerTest, TokenizesRepresentativeInput) {
+  auto toks = lex("machine HH { poll x = 10/res().PCIe; } // comment");
+  ASSERT_GE(toks.size(), 10u);
+  EXPECT_TRUE(toks[0].is_ident("machine"));
+  EXPECT_TRUE(toks[1].is_ident("HH"));
+  EXPECT_TRUE(toks[2].is_punct("{"));
+  EXPECT_EQ(toks.back().kind, TokKind::kEof);
+}
+
+TEST(LexerTest, NumbersIntsAndFloats) {
+  auto toks = lex("42 3.5 1e3 2.5e-2");
+  EXPECT_EQ(toks[0].kind, TokKind::kInt);
+  EXPECT_EQ(toks[0].int_value, 42);
+  EXPECT_EQ(toks[1].kind, TokKind::kFloat);
+  EXPECT_DOUBLE_EQ(toks[1].float_value, 3.5);
+  EXPECT_DOUBLE_EQ(toks[2].float_value, 1000);
+  EXPECT_DOUBLE_EQ(toks[3].float_value, 0.025);
+}
+
+TEST(LexerTest, DotAfterNumberIsFieldAccessNotDecimal) {
+  // res().PCIe after an int: `10/res().PCIe` must keep '.' separate.
+  auto toks = lex("10 .PCIe");
+  EXPECT_EQ(toks[0].kind, TokKind::kInt);
+  EXPECT_TRUE(toks[1].is_punct("."));
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto toks = lex(R"("a\"b\n")");
+  EXPECT_EQ(toks[0].text, "a\"b\n");
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto toks = lex("== <= >= <> < >");
+  EXPECT_TRUE(toks[0].is_punct("=="));
+  EXPECT_TRUE(toks[1].is_punct("<="));
+  EXPECT_TRUE(toks[2].is_punct(">="));
+  EXPECT_TRUE(toks[3].is_punct("<>"));
+  EXPECT_TRUE(toks[4].is_punct("<"));
+  EXPECT_TRUE(toks[5].is_punct(">"));
+}
+
+TEST(LexerTest, BlockComments) {
+  auto toks = lex("a /* x \n y */ b");
+  EXPECT_TRUE(toks[0].is_ident("a"));
+  EXPECT_TRUE(toks[1].is_ident("b"));
+}
+
+TEST(LexerTest, ThrowsOnUnterminatedString) {
+  EXPECT_THROW(lex("\"abc"), LexError);
+}
+
+// --- Parser ------------------------------------------------------------------
+
+TEST(ParserTest, ParsesHeavyHitterProgram) {
+  Program p = parse_program(kHeavyHitterSource);
+  EXPECT_EQ(p.functions.size(), 3u);
+  ASSERT_EQ(p.machines.size(), 1u);
+  const MachineDecl& m = p.machines[0];
+  EXPECT_EQ(m.name, "HH");
+  EXPECT_EQ(m.places.size(), 1u);
+  EXPECT_EQ(m.states.size(), 2u);
+  EXPECT_EQ(m.machine_events.size(), 2u);
+  // pollStats, threshold, hitterAction, hitters, prevBytes.
+  EXPECT_EQ(m.vars.size(), 5u);
+}
+
+TEST(ParserTest, ExternalAndTriggerFlags) {
+  Program p = parse_program(kHeavyHitterSource);
+  const auto& vars = p.machines[0].vars;
+  EXPECT_TRUE(vars[0].trigger.has_value());
+  EXPECT_EQ(*vars[0].trigger, TriggerType::kPoll);
+  EXPECT_TRUE(vars[1].external);
+  EXPECT_EQ(vars[1].name, "threshold");
+}
+
+TEST(ParserTest, PlaceDirectiveForms) {
+  Program p = parse_program(R"(
+    machine M {
+      place all;
+      place any 3, 8;
+      place any receiver srcIP "10.1.1.4" and dstIP "10.0.1.0/24" range == 1;
+      place all midpoint range == 0;
+      state s { }
+    }
+  )");
+  const auto& pls = p.machines[0].places;
+  ASSERT_EQ(pls.size(), 4u);
+  EXPECT_EQ(pls[0].mode, PlaceDirective::Mode::kEverywhere);
+  EXPECT_TRUE(pls[0].all);
+  EXPECT_EQ(pls[1].mode, PlaceDirective::Mode::kSwitchList);
+  EXPECT_FALSE(pls[1].all);
+  EXPECT_EQ(pls[1].switch_ids.size(), 2u);
+  EXPECT_EQ(pls[2].mode, PlaceDirective::Mode::kRange);
+  EXPECT_EQ(pls[2].anchor, PlaceDirective::Anchor::kReceiver);
+  EXPECT_TRUE(pls[2].path_filter != nullptr);
+  EXPECT_EQ(pls[2].range_op, BinOp::kEq);
+  EXPECT_EQ(pls[3].anchor, PlaceDirective::Anchor::kMidpoint);
+  EXPECT_TRUE(pls[3].path_filter == nullptr);
+}
+
+TEST(ParserTest, EventTriggerKinds) {
+  Program p = parse_program(R"(
+    machine M {
+      state s {
+        when (enter) do { }
+        when (exit) do { }
+        when (realloc) do { }
+        when (tick as t) do { }
+        when (recv long x from harvester) do { }
+        when (recv list l from Other) do { }
+      }
+      time tick;
+    }
+  )");
+  const auto& evs = p.machines[0].states[0].events;
+  ASSERT_EQ(evs.size(), 6u);
+  EXPECT_EQ(evs[0].kind, EventDecl::TriggerKind::kEnter);
+  EXPECT_EQ(evs[1].kind, EventDecl::TriggerKind::kExit);
+  EXPECT_EQ(evs[2].kind, EventDecl::TriggerKind::kRealloc);
+  EXPECT_EQ(evs[3].kind, EventDecl::TriggerKind::kVarTrigger);
+  EXPECT_EQ(evs[3].var, "tick");
+  EXPECT_EQ(evs[3].as_var, "t");
+  EXPECT_EQ(evs[4].kind, EventDecl::TriggerKind::kRecv);
+  EXPECT_TRUE(evs[4].from_harvester);
+  EXPECT_EQ(evs[5].from_machine, "Other");
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  // 1 + 2 * 3 == 7 must parse as (1 + (2*3)) == 7.
+  Program p = parse_program(R"(
+    machine M { bool b; state s { when (enter) do { b = 1 + 2 * 3 == 7; } } }
+  )");
+  // Evaluate the parsed expression to confirm grouping.
+  auto c = compile_machine(p, "M");
+  FakeHost host;
+  Interpreter interp(c, &host);
+  Env env;
+  env.define("b", Value(false));
+  const auto& actions = c.states[0].events[0]->actions;
+  interp.exec(actions, env);
+  EXPECT_TRUE(env.find("b")->as_bool());
+}
+
+TEST(ParserTest, SyntaxErrorsCarryLocation) {
+  try {
+    parse_program("machine M { state s { when enter) do {} } }");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_GT(e.loc().line, 0);
+  }
+}
+
+TEST(ParserTest, RejectsExternalTrigger) {
+  EXPECT_THROW(parse_program("machine M { external poll p; state s {} }"),
+               ParseError);
+}
+
+// --- Compilation ---------------------------------------------------------------
+
+TEST(CompileTest, FlattensHeavyHitter) {
+  auto c = compile(kHeavyHitterSource, "HH");
+  EXPECT_EQ(c.machine.initial_state, "observe");
+  ASSERT_EQ(c.machine.states.size(), 2u);
+  // Machine-level recv handlers are merged into both states.
+  const CompiledState* obs = c.machine.state("observe");
+  ASSERT_TRUE(obs);
+  EXPECT_EQ(obs->events.size(), 3u);  // poll + 2 machine-level recv
+  const CompiledState* det = c.machine.state("HHdetected");
+  ASSERT_TRUE(det);
+  EXPECT_EQ(det->events.size(), 3u);  // enter + 2 machine-level recv
+}
+
+TEST(CompileTest, InheritanceOverridesStates) {
+  auto c = compile(R"(
+    machine Base {
+      long x = 1;
+      state a { when (enter) do { x = 10; } }
+      state b { }
+    }
+    machine Child extends Base {
+      state b { when (enter) do { x = 20; } }
+      state c { }
+    }
+  )",
+                   "Child");
+  EXPECT_EQ(c.machine.states.size(), 3u);
+  EXPECT_EQ(c.machine.initial_state, "a");  // base-most first state
+  EXPECT_EQ(c.machine.state("b")->events.size(), 1u);  // overridden
+  EXPECT_TRUE(c.machine.var("x"));
+}
+
+TEST(CompileTest, RejectsVariableOverride) {
+  EXPECT_THROW(compile(R"(
+    machine Base { long x; state s { } }
+    machine Child extends Base { long x; state s { } }
+  )",
+                       "Child"),
+               CompileError);
+}
+
+TEST(CompileTest, RejectsInheritanceCycle) {
+  EXPECT_THROW(compile(R"(
+    machine A extends B { state s { } }
+    machine B extends A { state s { } }
+  )",
+                       "A"),
+               CompileError);
+}
+
+TEST(CompileTest, RejectsUnknownParent) {
+  EXPECT_THROW(compile("machine A extends Nope { state s { } }", "A"),
+               CompileError);
+}
+
+TEST(CompileTest, StateEventOverridesMachineEvent) {
+  auto c = compile(R"(
+    machine M {
+      long x = 0;
+      state s {
+        when (recv long v from harvester) do { x = 1; }
+      }
+      state t { }
+      when (recv long v from harvester) do { x = 2; }
+    }
+  )",
+                   "M");
+  EXPECT_EQ(c.machine.state("s")->events.size(), 1u);  // overridden, not both
+  EXPECT_EQ(c.machine.state("t")->events.size(), 1u);  // machine-level applies
+}
+
+TEST(CompileTest, RejectsBadUtilBody) {
+  EXPECT_THROW(compile(R"(
+    machine M { state s {
+      util (res) { while (true) { return 1; } }
+    } }
+  )",
+                       "M"),
+               CompileError);
+  EXPECT_THROW(compile(R"(
+    machine M { state s {
+      util (res) { return getHH(res); }
+    } }
+  )",
+                       "M"),
+               CompileError);
+}
+
+TEST(CompileTest, RejectsUnknownTransitTarget) {
+  EXPECT_THROW(compile(R"(
+    machine M { state s { when (enter) do { transit nowhere; } } }
+  )",
+                       "M"),
+               CompileError);
+}
+
+TEST(CompileTest, RejectsUninitializedPollVar) {
+  EXPECT_THROW(compile("machine M { poll p; state s { } }", "M"),
+               CompileError);
+}
+
+// --- Interpreter ----------------------------------------------------------------
+
+struct InterpFixture {
+  Compiled c;
+  FakeHost host;
+  std::unique_ptr<Interpreter> interp;
+  Env env;  // machine root env
+
+  explicit InterpFixture(const std::string& src, const std::string& name)
+      : c(compile(src, name)) {
+    interp = std::make_unique<Interpreter>(c.machine, &host);
+    for (const auto* v : c.machine.vars) {
+      Value init = v->trigger ? Value(TriggerSpec{})
+                              : Interpreter::default_value(v->type);
+      if (v->init) init = interp->eval(*v->init, env);
+      env.define(v->name, std::move(init));
+    }
+  }
+
+  ExecResult run_event(const std::string& state_name, std::size_t ev_index) {
+    const CompiledState* st = c.machine.state(state_name);
+    Env scope(&env);
+    return interp->exec(st->events[ev_index]->actions, scope);
+  }
+};
+
+TEST(InterpTest, HeavyHitterDetectsAndReacts) {
+  InterpFixture f(kHeavyHitterSource, "HH");
+
+  // First poll: baseline of 500 KB on each port — below threshold delta
+  // only because prev is empty… delta = 500K < 1M threshold → no HH.
+  StatsValue stats1;
+  stats1.entries->push_back({"port0", 0, 0, 500, 500'000});
+  stats1.entries->push_back({"port1", 1, 0, 500, 500'000});
+  Env scope1(&f.env);
+  scope1.define("stats", Value(stats1));
+  const auto* observe = f.c.machine.state("observe");
+  f.interp->exec(observe->events[0]->actions, scope1);
+  EXPECT_FALSE(f.host.transit.has_value());
+
+  // Second poll: port1 delta = 2 MB ≥ 1 MB threshold → HH detected.
+  StatsValue stats2;
+  stats2.entries->push_back({"port0", 0, 0, 600, 600'000});
+  stats2.entries->push_back({"port1", 1, 0, 3000, 2'500'000});
+  Env scope2(&f.env);
+  scope2.define("stats", Value(stats2));
+  f.interp->exec(observe->events[0]->actions, scope2);
+  ASSERT_TRUE(f.host.transit.has_value());
+  EXPECT_EQ(*f.host.transit, "HHdetected");
+  const auto& hitters = *f.env.find("hitters")->as_list();
+  ASSERT_EQ(hitters.size(), 1u);
+  EXPECT_EQ(hitters[0].as_int(), 1);  // port1
+
+  // Enter HHdetected: sends hitters to harvester, installs TCAM rules,
+  // transits back to observe.
+  f.host.transit.reset();
+  f.run_event("HHdetected", 0);
+  ASSERT_EQ(f.host.sent.size(), 1u);
+  EXPECT_TRUE(f.host.sent[0].second.to_harvester);
+  ASSERT_EQ(f.host.added_rules.size(), 1u);
+  EXPECT_EQ(f.host.transit, "observe");
+}
+
+TEST(InterpTest, HarvesterRecvUpdatesThreshold) {
+  InterpFixture f(kHeavyHitterSource, "HH");
+  const auto* observe = f.c.machine.state("observe");
+  // Event 1 is the first machine-level recv (long newTh).
+  Env scope(&f.env);
+  scope.define("newTh", Value(std::int64_t{42}));
+  f.interp->exec(observe->events[1]->actions, scope);
+  EXPECT_EQ(f.env.find("threshold")->as_int(), 42);
+}
+
+TEST(InterpTest, PollIvalUsesResources) {
+  InterpFixture f(kHeavyHitterSource, "HH");
+  // pollStats.ival = 10/res().PCIe with PCIe = 4 → 2.5 s.
+  const auto& trig = f.env.find("pollStats")->as_trigger();
+  EXPECT_DOUBLE_EQ(trig.ival_seconds, 2.5);
+  EXPECT_EQ(trig.what.iface_footprint(), net::Filter::kAllIfaces);
+}
+
+TEST(InterpTest, TriggerReassignmentNotifiesHost) {
+  InterpFixture f(R"(
+    machine M {
+      poll p = Poll { .ival = 1, .what = port ANY };
+      state s {
+        when (enter) do {
+          p = Poll { .ival = 0.5, .what = port ANY };
+        }
+      }
+    }
+  )",
+                  "M");
+  f.run_event("s", 0);
+  ASSERT_EQ(f.host.trigger_updates.size(), 1u);
+  EXPECT_EQ(f.host.trigger_updates[0], "p");
+  EXPECT_DOUBLE_EQ(f.env.find("p")->as_trigger().ival_seconds, 0.5);
+}
+
+TEST(InterpTest, FilterExpressionsCombine) {
+  InterpFixture f(R"(
+    machine M {
+      filter f;
+      state s {
+        when (enter) do {
+          f = srcIP "10.1.0.0/16" and (port 80 or port 22);
+        }
+      }
+    }
+  )",
+                  "M");
+  f.run_event("s", 0);
+  const auto& filter = f.env.find("f")->as_filter();
+  net::PacketHeader h{*net::Ipv4::parse("10.1.2.3"),
+                      *net::Ipv4::parse("11.0.0.1"),
+                      4000,
+                      22,
+                      net::Proto::kTcp,
+                      {},
+                      100};
+  EXPECT_TRUE(filter.matches(h));
+  h.dst_port = 443;
+  EXPECT_FALSE(filter.matches(h));
+}
+
+TEST(InterpTest, PacketFieldsAccessible) {
+  InterpFixture f(R"(
+    machine M {
+      probe pr = Probe { .ival = 0.001, .what = port 22 };
+      long count = 0;
+      string lastSrc;
+      state s {
+        when (pr as pkt) do {
+          if (pkt.syn and pkt.dstPort == 22) then {
+            count = count + 1;
+            lastSrc = pkt.srcIP;
+          }
+        }
+      }
+    }
+  )",
+                  "M");
+  net::PacketHeader h{*net::Ipv4::parse("10.0.0.5"),
+                      *net::Ipv4::parse("10.1.0.9"),
+                      40000,
+                      22,
+                      net::Proto::kTcp,
+                      {.syn = true},
+                      60};
+  Env scope(&f.env);
+  scope.define("pkt", Value(h));
+  const auto* s = f.c.machine.state("s");
+  f.interp->exec(s->events[0]->actions, scope);
+  EXPECT_EQ(f.env.find("count")->as_int(), 1);
+  EXPECT_EQ(f.env.find("lastSrc")->as_string(), "10.0.0.5");
+}
+
+TEST(InterpTest, WhileLoopGuardTrips) {
+  InterpFixture f(R"(
+    machine M { state s { when (enter) do { while (true) { } } } }
+  )",
+                  "M");
+  EXPECT_THROW(f.run_event("s", 0), EvalError);
+}
+
+TEST(InterpTest, DivisionByZeroRaises) {
+  InterpFixture f(R"(
+    machine M { long x; state s { when (enter) do { x = 1/0; } } }
+  )",
+                  "M");
+  EXPECT_THROW(f.run_event("s", 0), EvalError);
+}
+
+TEST(InterpTest, UndefinedVariableRaises) {
+  InterpFixture f(R"(
+    machine M { long x; state s { when (enter) do { x = nope; } } }
+  )",
+                  "M");
+  EXPECT_THROW(f.run_event("s", 0), EvalError);
+}
+
+TEST(InterpTest, ExecReachesHost) {
+  InterpFixture f(R"(
+    machine M { state s { when (enter) do {
+      exec("python3 svr.py --iters 10");
+    } } }
+  )",
+                  "M");
+  f.run_event("s", 0);
+  ASSERT_EQ(f.host.execs.size(), 1u);
+  EXPECT_EQ(f.host.execs[0], "python3 svr.py --iters 10");
+}
+
+TEST(InterpTest, TcamRuleRoundTrip) {
+  InterpFixture f(R"(
+    machine M {
+      rule r;
+      bool found;
+      state s { when (enter) do {
+        addTCAMRule(Rule { .pattern = port 443, .act = action_drop() });
+        r = getTCAMRule(port 443);
+        found = r.act == action_drop();
+        removeTCAMRule(port 443);
+      } }
+    }
+  )",
+                  "M");
+  f.run_event("s", 0);
+  EXPECT_TRUE(f.env.find("found")->as_bool());
+  ASSERT_EQ(f.host.removed.size(), 1u);
+}
+
+// --- Utility analysis -------------------------------------------------------
+
+TEST(UtilityAnalysisTest, HeavyHitterObserveState) {
+  auto c = compile(kHeavyHitterSource, "HH");
+  const CompiledState* obs = c.machine.state("observe");
+  ASSERT_TRUE(obs->util);
+  auto ua = analyze_utility(*obs->util);
+  ASSERT_EQ(ua.variants.size(), 1u);
+  const auto& v = ua.variants[0];
+  // C^s = {r_vCPU - 1, r_RAM - 100}; u^s = min(r_vCPU, r_PCIe).
+  ASSERT_EQ(v.constraints.size(), 2u);
+  EXPECT_DOUBLE_EQ(v.constraints[0].c0, -1);
+  EXPECT_DOUBLE_EQ(v.constraints[0].coeff[kVCpu], 1);
+  EXPECT_DOUBLE_EQ(v.constraints[1].c0, -100);
+  EXPECT_DOUBLE_EQ(v.constraints[1].coeff[kRam], 1);
+  EXPECT_EQ(v.util_min_terms.size(), 2u);
+
+  EXPECT_TRUE(v.feasible({2, 256, 0, 4}));
+  EXPECT_FALSE(v.feasible({0.5, 256, 0, 4}));
+  EXPECT_DOUBLE_EQ(v.utility({2, 256, 0, 4}), 2);   // min(2, 4)
+  EXPECT_DOUBLE_EQ(v.utility({8, 256, 0, 3}), 3);   // min(8, 3)
+}
+
+TEST(UtilityAnalysisTest, ConstantUtility) {
+  auto c = compile(kHeavyHitterSource, "HH");
+  const CompiledState* det = c.machine.state("HHdetected");
+  auto ua = analyze_utility(*det->util);
+  ASSERT_EQ(ua.variants.size(), 1u);
+  EXPECT_TRUE(ua.variants[0].constraints.empty());
+  EXPECT_DOUBLE_EQ(ua.variants[0].utility({0, 0, 0, 0}), 100);
+}
+
+TEST(UtilityAnalysisTest, OrConditionSplitsVariants) {
+  auto c = compile(R"(
+    machine M { state s {
+      util (r) {
+        if (r.vCPU >= 2 or r.RAM >= 512) then { return 10; }
+      }
+    } }
+  )",
+                   "M");
+  auto ua = analyze_utility(*c.machine.state("s")->util);
+  EXPECT_EQ(ua.variants.size(), 2u);
+  EXPECT_DOUBLE_EQ(ua.utility({2, 0, 0, 0}), 10);
+  EXPECT_DOUBLE_EQ(ua.utility({0, 512, 0, 0}), 10);
+  EXPECT_DOUBLE_EQ(ua.utility({0, 0, 0, 0}), 0);
+}
+
+TEST(UtilityAnalysisTest, MultipleIfsYieldMultipleVariants) {
+  auto c = compile(R"(
+    machine M { state s {
+      util (r) {
+        if (r.vCPU >= 4) then { return 2 * r.vCPU; }
+        if (r.vCPU >= 1) then { return r.vCPU; }
+      }
+    } }
+  )",
+                   "M");
+  auto ua = analyze_utility(*c.machine.state("s")->util);
+  EXPECT_EQ(ua.variants.size(), 2u);
+  EXPECT_DOUBLE_EQ(ua.utility({4, 0, 0, 0}), 8);  // best variant wins
+  EXPECT_DOUBLE_EQ(ua.utility({2, 0, 0, 0}), 2);
+}
+
+TEST(UtilityAnalysisTest, MaxSplitsWithDominanceConstraints) {
+  auto c = compile(R"(
+    machine M { state s {
+      util (r) { return max(r.vCPU, r.PCIe); }
+    } }
+  )",
+                   "M");
+  auto ua = analyze_utility(*c.machine.state("s")->util);
+  EXPECT_EQ(ua.variants.size(), 2u);
+  EXPECT_DOUBLE_EQ(ua.utility({5, 0, 0, 2}), 5);
+  EXPECT_DOUBLE_EQ(ua.utility({1, 0, 0, 7}), 7);
+}
+
+TEST(UtilityAnalysisTest, RejectsNonlinearProduct) {
+  auto c = compile(R"(
+    machine M { state s {
+      util (r) { return r.vCPU * r.RAM; }
+    } }
+  )",
+                   "M");
+  EXPECT_THROW(analyze_utility(*c.machine.state("s")->util), CompileError);
+}
+
+TEST(UtilityAnalysisTest, ArithmeticOnMinStaysConcave) {
+  auto c = compile(R"(
+    machine M { state s {
+      util (r) { return 2 * min(r.vCPU, r.PCIe) + 1; }
+    } }
+  )",
+                   "M");
+  auto ua = analyze_utility(*c.machine.state("s")->util);
+  ASSERT_EQ(ua.variants.size(), 1u);
+  EXPECT_DOUBLE_EQ(ua.utility({3, 0, 0, 5}), 7);  // 2*3+1
+}
+
+// --- Poll analysis -------------------------------------------------------------
+
+TEST(PollAnalysisTest, InverseLinearIval) {
+  auto c = compile(kHeavyHitterSource, "HH");
+  Env env;
+  Interpreter interp(c.machine, nullptr);
+  for (const auto* v : c.machine.vars)
+    if (!v->trigger && v->init) env.define(v->name, interp.eval(*v->init, env));
+  auto polls = analyze_polls(c.machine, env, {1, 128, 16, 2});
+  ASSERT_EQ(polls.size(), 1u);
+  const auto& pa = polls[0];
+  EXPECT_EQ(pa.var, "pollStats");
+  EXPECT_TRUE(pa.inv_linear);
+  // ival = 10 / r_PCIe → 1/ival = r_PCIe / 10.
+  EXPECT_DOUBLE_EQ(pa.inv_ival.coeff[kPcie], 0.1);
+  EXPECT_DOUBLE_EQ(pa.ival_at({0, 0, 0, 4}), 2.5);
+}
+
+TEST(PollAnalysisTest, ConstantIvalFallback) {
+  auto c = compile(R"(
+    machine M {
+      poll p = Poll { .ival = 0.01, .what = port 80 };
+      state s { }
+    }
+  )",
+                   "M");
+  Env env;
+  auto polls = analyze_polls(c.machine, env, {1, 1, 1, 1});
+  ASSERT_EQ(polls.size(), 1u);
+  EXPECT_TRUE(polls[0].inv_linear);  // constants are trivially linear
+  EXPECT_DOUBLE_EQ(polls[0].ival_at({0, 0, 0, 0}), 0.01);
+  EXPECT_EQ(polls[0].subjects.size(), 1u);
+}
+
+TEST(PollAnalysisTest, SharedSubjectsDetectable) {
+  auto c = compile(R"(
+    machine M {
+      poll a = Poll { .ival = 0.01, .what = port ANY };
+      poll b = Poll { .ival = 0.05, .what = port ANY };
+      state s { }
+    }
+  )",
+                   "M");
+  Env env;
+  auto polls = analyze_polls(c.machine, env, {1, 1, 1, 1});
+  ASSERT_EQ(polls.size(), 2u);
+  EXPECT_EQ(polls[0].subjects, polls[1].subjects);  // aggregation opportunity
+}
+
+// --- Placement resolution ---------------------------------------------------
+
+struct PlaceFixture {
+  net::SpineLeaf sl =
+      net::build_spine_leaf({.spines = 3, .leaves = 2, .hosts_per_leaf = 2});
+  net::SdnController ctl{sl.topo};
+};
+
+TEST(PlaceResolutionTest, PlaceAllYieldsOneSeedPerSwitch) {
+  PlaceFixture fx;
+  auto c = compile(kHeavyHitterSource, "HH");
+  Env env;
+  auto seeds = resolve_places(c.machine, env, fx.ctl);
+  EXPECT_EQ(seeds.size(), fx.sl.topo.switches().size());
+  for (const auto& s : seeds) EXPECT_EQ(s.candidates.size(), 1u);
+}
+
+TEST(PlaceResolutionTest, PlaceAnyYieldsOneSeedAnywhere) {
+  PlaceFixture fx;
+  auto c = compile("machine M { place any; state s { } }", "M");
+  Env env;
+  auto seeds = resolve_places(c.machine, env, fx.ctl);
+  ASSERT_EQ(seeds.size(), 1u);
+  EXPECT_EQ(seeds[0].candidates.size(), fx.sl.topo.switches().size());
+}
+
+TEST(PlaceResolutionTest, SwitchListRestrictsCandidates) {
+  PlaceFixture fx;
+  auto leaf0 = fx.sl.leaf_switches[0];
+  auto leaf1 = fx.sl.leaf_switches[1];
+  auto src = "machine M { place any " + std::to_string(leaf0) + ", " +
+             std::to_string(leaf1) + "; state s { } }";
+  auto c = compile(src, "M");
+  Env env;
+  auto seeds = resolve_places(c.machine, env, fx.ctl);
+  ASSERT_EQ(seeds.size(), 1u);
+  EXPECT_EQ(seeds[0].candidates,
+            (std::vector<net::NodeId>{leaf0, leaf1}));
+}
+
+TEST(PlaceResolutionTest, MidpointRangeSelectsSpines) {
+  PlaceFixture fx;
+  // Paths between leaf0 and leaf1 hosts have shape h-leaf-spine-leaf-h; the
+  // midpoint at range 0 is the spine.
+  auto src = *fx.sl.topo.node(fx.sl.hosts_by_leaf[0][0]).address;
+  auto dst = *fx.sl.topo.node(fx.sl.hosts_by_leaf[1][0]).address;
+  auto prog = R"(machine M {
+      place all midpoint srcIP ")" + src.to_string() +
+              R"(" and dstIP ")" + dst.to_string() + R"(" range == 0;
+      state s { } })";
+  auto c = compile(prog, "M");
+  Env env;
+  auto seeds = resolve_places(c.machine, env, fx.ctl);
+  // 3 ECMP paths → 3 spine singletons.
+  EXPECT_EQ(seeds.size(), 3u);
+  for (const auto& s : seeds) {
+    ASSERT_EQ(s.candidates.size(), 1u);
+    EXPECT_TRUE(std::find(fx.sl.spine_switches.begin(),
+                          fx.sl.spine_switches.end(),
+                          s.candidates[0]) != fx.sl.spine_switches.end());
+  }
+}
+
+TEST(PlaceResolutionTest, ReceiverRangeSelectsEgressLeaf) {
+  PlaceFixture fx;
+  auto src = *fx.sl.topo.node(fx.sl.hosts_by_leaf[0][0]).address;
+  auto dst = *fx.sl.topo.node(fx.sl.hosts_by_leaf[1][0]).address;
+  auto prog = R"(machine M {
+      place any receiver srcIP ")" + src.to_string() +
+              R"(" and dstIP ")" + dst.to_string() + R"(" range == 1;
+      state s { } })";
+  auto c = compile(prog, "M");
+  Env env;
+  auto seeds = resolve_places(c.machine, env, fx.ctl);
+  // Node at distance 1 from the receiving host is always leaf1 (same for
+  // all ECMP paths → dedup to one seed).
+  ASSERT_EQ(seeds.size(), 1u);
+  EXPECT_EQ(seeds[0].candidates,
+            (std::vector<net::NodeId>{fx.sl.leaf_switches[1]}));
+}
+
+TEST(PlaceResolutionTest, ExternalVariableInPlacement) {
+  PlaceFixture fx;
+  auto c = compile("machine M { place any target; external long target = 0; state s { } }",
+                   "M");
+  Env env;
+  env.define("target", Value(static_cast<std::int64_t>(fx.sl.spine_switches[1])));
+  auto seeds = resolve_places(c.machine, env, fx.ctl);
+  ASSERT_EQ(seeds.size(), 1u);
+  EXPECT_EQ(seeds[0].candidates[0], fx.sl.spine_switches[1]);
+}
+
+}  // namespace
+}  // namespace farm::almanac

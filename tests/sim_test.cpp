@@ -1,0 +1,213 @@
+// Tests for the discrete-event engine, CPU model, and metrics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cpu.h"
+#include "sim/engine.h"
+#include "sim/metrics.h"
+
+namespace farm::sim {
+namespace {
+
+TEST(EngineTest, ExecutesEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_after(Duration::ms(5), [&] { order.push_back(2); });
+  e.schedule_after(Duration::ms(1), [&] { order.push_back(1); });
+  e.schedule_after(Duration::ms(9), [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), TimePoint::origin() + Duration::ms(9));
+}
+
+TEST(EngineTest, SimultaneousEventsRunInScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  auto t = TimePoint::origin() + Duration::ms(1);
+  e.schedule_at(t, [&] { order.push_back(1); });
+  e.schedule_at(t, [&] { order.push_back(2); });
+  e.schedule_at(t, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EngineTest, CancelPreventsExecution) {
+  Engine e;
+  bool fired = false;
+  auto id = e.schedule_after(Duration::ms(1), [&] { fired = true; });
+  e.cancel(id);
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EngineTest, CancelOfFiredEventIsNoop) {
+  Engine e;
+  auto id = e.schedule_after(Duration::ms(1), [] {});
+  e.run();
+  e.cancel(id);  // must not crash or corrupt
+  EXPECT_EQ(e.pending_events(), 0u);
+}
+
+TEST(EngineTest, RunUntilAdvancesClockExactly) {
+  Engine e;
+  int fired = 0;
+  e.schedule_after(Duration::ms(10), [&] { ++fired; });
+  e.run_until(TimePoint::origin() + Duration::ms(5));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(e.now(), TimePoint::origin() + Duration::ms(5));
+  e.run_until(TimePoint::origin() + Duration::ms(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), TimePoint::origin() + Duration::ms(20));
+}
+
+TEST(EngineTest, EventsCanScheduleMoreEvents) {
+  Engine e;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) e.schedule_after(Duration::ms(1), chain);
+  };
+  e.schedule_after(Duration::ms(1), chain);
+  e.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(e.now(), TimePoint::origin() + Duration::ms(5));
+}
+
+TEST(PeriodicTaskTest, FiresAtPeriod) {
+  Engine e;
+  int fired = 0;
+  PeriodicTask t(e, Duration::ms(10), [&] { ++fired; });
+  t.start();
+  e.run_for(Duration::ms(35));
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(PeriodicTaskTest, StopFromInsideCallbackSticks) {
+  Engine e;
+  int fired = 0;
+  PeriodicTask t(e, Duration::ms(1), [&] {
+    ++fired;
+    if (fired == 2) t.stop();
+  });
+  t.start();
+  e.run_for(Duration::ms(50));
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(t.running());
+}
+
+TEST(PeriodicTaskTest, SetPeriodTakesEffect) {
+  Engine e;
+  int fired = 0;
+  PeriodicTask t(e, Duration::ms(10), [&] { ++fired; });
+  t.start();
+  e.run_for(Duration::ms(25));  // 2 firings at 10ms
+  t.set_period(Duration::ms(100));
+  e.run_for(Duration::ms(250));  // ~2 more at 100ms
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(PeriodicTaskTest, RestartAfterStop) {
+  Engine e;
+  int fired = 0;
+  PeriodicTask t(e, Duration::ms(10), [&] { ++fired; });
+  t.start();
+  e.run_for(Duration::ms(15));
+  t.stop();
+  e.run_for(Duration::ms(50));
+  EXPECT_EQ(fired, 1);
+  t.start();
+  e.run_for(Duration::ms(15));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(CpuModelTest, SingleJobCompletesAfterDemand) {
+  Engine e;
+  CpuModel cpu(e, 1, Duration{});
+  bool done = false;
+  cpu.submit(1, Duration::ms(5), [&] { done = true; });
+  e.run_for(Duration::ms(4));
+  EXPECT_FALSE(done);
+  e.run_for(Duration::ms(2));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(cpu.completed_jobs(), 1u);
+}
+
+TEST(CpuModelTest, MultiCoreRunsJobsInParallel) {
+  Engine e;
+  CpuModel cpu(e, 4, Duration{});
+  int done = 0;
+  for (int i = 0; i < 4; ++i)
+    cpu.submit(static_cast<TaskId>(i), Duration::ms(10), [&] { ++done; });
+  e.run_for(Duration::ms(11));
+  EXPECT_EQ(done, 4);  // all four in parallel, not 40ms serialized
+}
+
+TEST(CpuModelTest, SingleCoreSerializes) {
+  Engine e;
+  CpuModel cpu(e, 1, Duration{});
+  int done = 0;
+  for (int i = 0; i < 4; ++i)
+    cpu.submit(1, Duration::ms(10), [&] { ++done; });
+  e.run_for(Duration::ms(25));
+  EXPECT_EQ(done, 2);
+  e.run_for(Duration::ms(20));
+  EXPECT_EQ(done, 4);
+}
+
+TEST(CpuModelTest, ContextSwitchChargedOnTaskChange) {
+  Engine e;
+  CpuModel cpu(e, 1, Duration::ms(1));
+  // Same task twice: one switch (from idle task 0). Then a different task:
+  // another switch.
+  cpu.submit(7, Duration::ms(2));
+  cpu.submit(7, Duration::ms(2));
+  cpu.submit(8, Duration::ms(2));
+  e.run();
+  EXPECT_EQ(cpu.context_switches(), 2u);
+  EXPECT_EQ(cpu.busy_time(), Duration::ms(2 * 3 + 2));
+}
+
+TEST(CpuModelTest, LoadPercentReflectsMultiCoreSaturation) {
+  Engine e;
+  CpuModel cpu(e, 4, Duration{});
+  TimePoint start = e.now();
+  Duration busy0 = cpu.busy_time();
+  for (int i = 0; i < 8; ++i)
+    cpu.submit(static_cast<TaskId>(i), Duration::ms(50));
+  e.run_for(Duration::ms(100));
+  // 8 × 50ms on 4 cores over 100ms → 400% for the first half, 400%*0.5 = 200%…
+  // exact: total busy 400ms / 100ms window = 400%.
+  EXPECT_NEAR(cpu.load_percent(start, busy0), 400, 1);
+}
+
+TEST(StatsTest, SummaryStatistics) {
+  Stats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.record(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1);
+  EXPECT_DOUBLE_EQ(s.max(), 4);
+  EXPECT_NEAR(s.stddev(), 1.2909944, 1e-6);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 2);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 4);
+}
+
+TEST(StatsTest, PercentileAfterMoreRecords) {
+  Stats s;
+  for (int i = 100; i >= 1; --i) s.record(i);
+  EXPECT_DOUBLE_EQ(s.percentile(90), 90);
+  s.record(1000);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 1000);
+}
+
+TEST(ByteMeterTest, Accumulates) {
+  ByteMeter m;
+  m.add(1000);
+  m.add(500);
+  EXPECT_EQ(m.bytes, 1500u);
+  EXPECT_EQ(m.messages, 2u);
+  EXPECT_DOUBLE_EQ(m.megabytes(), 0.0015);
+}
+
+}  // namespace
+}  // namespace farm::sim

@@ -1,0 +1,174 @@
+// Tests for the sketch extension (§VIII future work): count-min and
+// HyperLogLog primitives, their Almanac builtins, and the sketch-based
+// use-case variants' accuracy/memory trade-off.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "almanac/compile.h"
+#include "almanac/interp.h"
+#include "almanac/parser.h"
+#include "net/sketch.h"
+#include "util/rng.h"
+
+namespace farm::net {
+namespace {
+
+TEST(CountMinTest, ExactForDistinctKeysUnderCapacity) {
+  CountMinSketch cms(512, 4);
+  for (int i = 0; i < 50; ++i)
+    cms.add("key" + std::to_string(i), static_cast<std::uint64_t>(i + 1));
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(cms.estimate("key" + std::to_string(i)),
+              static_cast<std::uint64_t>(i + 1));
+}
+
+TEST(CountMinTest, NeverUnderestimates) {
+  util::Rng rng(5);
+  CountMinSketch cms(64, 4);  // deliberately small — collisions guaranteed
+  std::unordered_map<std::string, std::uint64_t> truth;
+  for (int i = 0; i < 5000; ++i) {
+    std::string key = "k" + std::to_string(rng.next_zipf(300, 1.1));
+    std::uint64_t c = static_cast<std::uint64_t>(rng.next_int(1, 5));
+    cms.add(key, c);
+    truth[key] += c;
+  }
+  for (const auto& [key, count] : truth)
+    EXPECT_GE(cms.estimate(key), count) << key;
+}
+
+TEST(CountMinTest, HeavyKeysAccurateUnderZipf) {
+  // The heavy keys of a skewed stream must be estimated within a few
+  // percent even with heavy collision pressure — the HH use case's need.
+  util::Rng rng(6);
+  CountMinSketch cms(1024, 4);
+  std::unordered_map<std::string, std::uint64_t> truth;
+  for (int i = 0; i < 100'000; ++i) {
+    std::string key = "k" + std::to_string(rng.next_zipf(5000, 1.2));
+    cms.add(key);
+    ++truth[key];
+  }
+  for (const auto& [key, count] : truth) {
+    if (count < 1000) continue;  // only the heavy keys
+    double err = static_cast<double>(cms.estimate(key) - count) /
+                 static_cast<double>(count);
+    EXPECT_LT(err, 0.05) << key << " truth=" << count;
+  }
+}
+
+TEST(CountMinTest, ClearResets) {
+  CountMinSketch cms(64, 2);
+  cms.add("a", 100);
+  cms.clear();
+  EXPECT_EQ(cms.estimate("a"), 0u);
+  EXPECT_EQ(cms.total_added(), 0u);
+}
+
+TEST(HyperLogLogTest, SmallCardinalitiesNearExact) {
+  HyperLogLog hll(12);
+  for (int i = 0; i < 100; ++i) hll.add("item" + std::to_string(i));
+  EXPECT_NEAR(hll.estimate(), 100, 5);
+}
+
+TEST(HyperLogLogTest, LargeCardinalitiesWithinExpectedError) {
+  HyperLogLog hll(12);  // σ ≈ 1.04/√4096 ≈ 1.6%
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) hll.add("item" + std::to_string(i));
+  EXPECT_NEAR(hll.estimate(), n, n * 0.05);
+}
+
+TEST(HyperLogLogTest, DuplicatesDoNotInflate) {
+  HyperLogLog hll(10);
+  for (int round = 0; round < 50; ++round)
+    for (int i = 0; i < 40; ++i) hll.add("dup" + std::to_string(i));
+  EXPECT_NEAR(hll.estimate(), 40, 5);
+}
+
+TEST(HyperLogLogTest, MemoryIsConstant) {
+  HyperLogLog hll(10);
+  auto before = hll.memory_bytes();
+  for (int i = 0; i < 100'000; ++i) hll.add("x" + std::to_string(i));
+  EXPECT_EQ(hll.memory_bytes(), before);
+  EXPECT_EQ(before, 1024u);  // 2^10 registers
+}
+
+// --- Almanac builtin integration ----------------------------------------------
+
+TEST(SketchBuiltinTest, CmsRoundTripThroughAlmanac) {
+  auto program = almanac::parse_program(R"(
+    machine M {
+      sketch counts = cms_new(256, 4);
+      long est = 0;
+      state s {
+        when (enter) do {
+          long i = 0;
+          while (i < 100) { cms_add(counts, "hot", 1); i = i + 1; }
+          cms_add(counts, "cold", 2);
+          est = cms_estimate(counts, "hot");
+        }
+      }
+    }
+  )");
+  auto cm = almanac::compile_machine(program, "M");
+  almanac::Interpreter interp(cm, nullptr);
+  almanac::Env env;
+  for (const auto* v : cm.vars)
+    env.define(v->name, v->init ? interp.eval(*v->init, env)
+                                : almanac::Interpreter::default_value(v->type));
+  const auto* s = cm.state("s");
+  almanac::Env scope(&env);
+  interp.exec(s->events[0]->actions, scope);
+  EXPECT_EQ(env.find("est")->as_int(), 100);
+}
+
+TEST(SketchBuiltinTest, HllDistinctCountThroughAlmanac) {
+  auto program = almanac::parse_program(R"(
+    machine M {
+      sketch distinct = hll_new(12);
+      long est = 0;
+      state s {
+        when (enter) do {
+          long i = 0;
+          while (i < 500) {
+            hll_add(distinct, "src" + to_str(to_long(i / 2)));
+            i = i + 1;
+          }
+          est = hll_estimate(distinct);
+        }
+      }
+    }
+  )");
+  auto cm = almanac::compile_machine(program, "M");
+  almanac::Interpreter interp(cm, nullptr);
+  almanac::Env env;
+  for (const auto* v : cm.vars)
+    env.define(v->name, v->init ? interp.eval(*v->init, env)
+                                : almanac::Interpreter::default_value(v->type));
+  const auto* s = cm.state("s");
+  almanac::Env scope(&env);
+  interp.exec(s->events[0]->actions, scope);
+  // 500 adds over 250 distinct keys.
+  EXPECT_NEAR(static_cast<double>(env.find("est")->as_int()), 250, 20);
+}
+
+TEST(SketchBuiltinTest, TypeErrorsRaiseCleanly) {
+  auto program = almanac::parse_program(R"(
+    machine M {
+      sketch h = hll_new(10);
+      state s { when (enter) do { cms_add(h, "x", 1); } }
+    }
+  )");
+  auto cm = almanac::compile_machine(program, "M");
+  almanac::Interpreter interp(cm, nullptr);
+  almanac::Env env;
+  for (const auto* v : cm.vars)
+    env.define(v->name, v->init ? interp.eval(*v->init, env)
+                                : almanac::Interpreter::default_value(v->type));
+  almanac::Env scope(&env);
+  EXPECT_THROW(interp.exec(cm.state("s")->events[0]->actions, scope),
+               almanac::EvalError);
+}
+
+}  // namespace
+}  // namespace farm::net

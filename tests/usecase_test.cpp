@@ -1,0 +1,293 @@
+// End-to-end detection tests for the Table I use cases not covered in
+// farm_test.cpp: each replays its target anomaly through the simulated
+// fabric and asserts the seed detects (and where applicable, mitigates)
+// it — plus negative checks that benign traffic stays quiet.
+#include <gtest/gtest.h>
+
+#include "farm/harvesters.h"
+#include "farm/system.h"
+#include "farm/usecases.h"
+#include "net/traffic.h"
+
+namespace farm::core {
+namespace {
+
+using almanac::Value;
+using sim::Duration;
+using sim::TimePoint;
+
+struct Fixture {
+  FarmSystem farm;
+  CollectingHarvester harvester;
+
+  Fixture()
+      : farm(FarmSystemConfig{
+            .topology = {.spines = 2, .leaves = 4, .hosts_per_leaf = 4}}),
+        harvester(farm.engine(), "uc") {
+    farm.bus().attach_harvester("uc", harvester);
+  }
+
+  void install(const std::string& use_case_name,
+               std::unordered_map<std::string, Value> externals = {}) {
+    const UseCase& uc = use_case(use_case_name);
+    auto ext = uc.default_externals;
+    for (auto& [k, v] : externals) ext[k] = v;
+    auto ids = farm.install_task({"uc", uc.source, uc.machines, ext});
+    ASSERT_FALSE(ids.empty()) << use_case_name << " failed to deploy";
+  }
+
+  net::Ipv4 host(int leaf, int idx) {
+    return *farm.topology()
+                .node(farm.fabric().hosts_by_leaf[static_cast<std::size_t>(
+                    leaf)][static_cast<std::size_t>(idx)])
+                .address;
+  }
+
+  int drop_rules() {
+    int n = 0;
+    for (auto sw : farm.topology().switches())
+      for (const auto& r : farm.chassis(sw).tcam().rules())
+        if (r.action == asic::RuleAction::kDrop) ++n;
+    return n;
+  }
+  int limit_rules() {
+    int n = 0;
+    for (auto sw : farm.topology().switches())
+      for (const auto& r : farm.chassis(sw).tcam().rules())
+        if (r.action == asic::RuleAction::kRateLimit) ++n;
+    return n;
+  }
+};
+
+TEST(UseCaseE2E, SynFloodRateLimited) {
+  Fixture fx;
+  fx.install("TCP SYN flood", {{"synThreshold", Value(std::int64_t{50})}});
+  util::Rng rng(1);
+  auto sched = net::syn_flood(fx.farm.topology(), rng, fx.host(2, 0), 443, 30,
+                              5e6, TimePoint::origin() + Duration::ms(200),
+                              Duration::sec(4));
+  fx.farm.load_traffic(std::move(sched));
+  fx.farm.run_for(Duration::sec(4));
+  EXPECT_FALSE(fx.harvester.reports.empty());
+  EXPECT_GT(fx.limit_rules(), 0);
+  // The reported victim is the flooded host.
+  bool victim_reported = false;
+  for (const auto& [_, v] : fx.harvester.reports)
+    if (v.is_string() && v.as_string() == fx.host(2, 0).to_string())
+      victim_reported = true;
+  EXPECT_TRUE(victim_reported);
+}
+
+TEST(UseCaseE2E, SuperspreaderThrottled) {
+  Fixture fx;
+  fx.install("Superspreader", {{"fanoutThreshold", Value(std::int64_t{12})}});
+  util::Rng rng(2);
+  auto sched = net::superspreader(fx.farm.topology(), rng, fx.host(0, 0), 60,
+                                  2e5, TimePoint::origin(), Duration::sec(4));
+  fx.farm.load_traffic(std::move(sched));
+  fx.farm.run_for(Duration::sec(4));
+  ASSERT_FALSE(fx.harvester.reports.empty());
+  EXPECT_EQ(fx.harvester.reports[0].second.as_string(),
+            fx.host(0, 0).to_string());
+  EXPECT_GT(fx.limit_rules(), 0);
+}
+
+TEST(UseCaseE2E, SlowlorisSourcesDropped) {
+  Fixture fx;
+  fx.install("Slowloris", {{"connThreshold", Value(std::int64_t{10})}});
+  util::Rng rng(3);
+  // Slowloris: many tiny long-lived connections toward one web server.
+  auto sched = net::slowloris(fx.farm.topology(), rng, fx.host(1, 1), 40,
+                              6e4, TimePoint::origin(), Duration::sec(6));
+  fx.farm.load_traffic(std::move(sched));
+  fx.farm.run_for(Duration::sec(6));
+  EXPECT_FALSE(fx.harvester.reports.empty());
+  EXPECT_GT(fx.drop_rules(), 0);
+}
+
+TEST(UseCaseE2E, DnsReflectionMitigated) {
+  Fixture fx;
+  fx.install("DNS reflection", {{"burstThreshold", Value(std::int64_t{8})}});
+  util::Rng rng(4);
+  auto sched = net::dns_reflection(fx.farm.topology(), rng, fx.host(3, 0), 20,
+                                   4e6, TimePoint::origin(), Duration::sec(4));
+  fx.farm.load_traffic(std::move(sched));
+  fx.farm.run_for(Duration::sec(4));
+  EXPECT_FALSE(fx.harvester.reports.empty());
+  EXPECT_GT(fx.limit_rules(), 0);
+}
+
+TEST(UseCaseE2E, LinkFailureReportedWhenTrafficFreezes) {
+  Fixture fx;
+  fx.install("Link failure");
+  // Steady traffic for 2 s, then silence: the previously-active ports
+  // freeze, and after `confirmPolls` strikes seeds report the failure.
+  net::FlowSchedule sched;
+  net::FlowSpec f;
+  f.key = {fx.host(0, 0), fx.host(2, 0), 4000, 80, net::Proto::kTcp};
+  f.rate_bps = 100e6;
+  sched.add(TimePoint::origin(), TimePoint::origin() + Duration::sec(2), f);
+  fx.farm.load_traffic(std::move(sched));
+  fx.farm.run_for(Duration::sec(5));
+  ASSERT_FALSE(fx.harvester.reports.empty());
+  EXPECT_TRUE(fx.harvester.reports[0].second.is_list());
+}
+
+TEST(UseCaseE2E, EntropyCollapseSignaled) {
+  Fixture fx;
+  fx.install("Entropy estim.", {{"sampleTarget", Value(std::int64_t{100})}});
+  // A single dominant source: src-IP diversity collapses.
+  net::FlowSchedule sched;
+  net::FlowSpec f;
+  f.key = {fx.host(0, 1), fx.host(2, 1), 5000, 80, net::Proto::kTcp};
+  f.rate_bps = 400e6;
+  f.packet_bytes = 500;
+  sched.add_forever(TimePoint::origin(), f);
+  fx.farm.load_traffic(std::move(sched));
+  fx.farm.run_for(Duration::sec(3));
+  bool collapse = false;
+  for (const auto& [_, v] : fx.harvester.reports)
+    if (v.is_string() && v.as_string() == "entropy-collapse") collapse = true;
+  EXPECT_TRUE(collapse);
+}
+
+TEST(UseCaseE2E, FloodDefenderEntersAndLeavesDefenseMode) {
+  Fixture fx;
+  fx.install("FloodDefender",
+             {{"newFlowThreshold", Value(std::int64_t{60})},
+              {"talkerThreshold", Value(std::int64_t{20})},
+              {"protectMs", Value(std::int64_t{1000})}});
+  util::Rng rng(6);
+  auto sched = net::syn_flood(fx.farm.topology(), rng, fx.host(1, 2), 80, 40,
+                              4e6, TimePoint::origin() + Duration::ms(500),
+                              Duration::sec(2));
+  fx.farm.load_traffic(std::move(sched));
+  fx.farm.run_for(Duration::sec(6));
+  ASSERT_FALSE(fx.harvester.reports.empty());
+  // Recovery message after the attack subsides.
+  bool recovered = false;
+  for (const auto& [_, v] : fx.harvester.reports)
+    if (v.is_string() && v.as_string() == "recovered") recovered = true;
+  EXPECT_TRUE(recovered);
+}
+
+TEST(UseCaseE2E, NewTcpConnCountsArrive) {
+  Fixture fx;
+  fx.install("New TCP conn.", {{"reportEvery", Value(std::int64_t{20})}});
+  util::Rng rng(7);
+  auto sched = net::background_traffic(fx.farm.topology(), rng, 60, 5e6,
+                                       Duration::sec(3));
+  fx.farm.load_traffic(std::move(sched));
+  fx.farm.run_for(Duration::sec(3));
+  // Background mice are ACK-flagged, not SYN — deploy a SYN-ful workload.
+  // (Background alone must NOT trigger: negative check.)
+  EXPECT_TRUE(fx.harvester.reports.empty());
+  util::Rng rng2(8);
+  fx.farm.load_traffic(net::syn_flood(fx.farm.topology(), rng2,
+                                      fx.host(3, 1), 443, 30, 1e6,
+                                      fx.farm.engine().now(),
+                                      Duration::sec(2)));
+  fx.farm.run_for(Duration::sec(2));
+  EXPECT_FALSE(fx.harvester.reports.empty());
+  EXPECT_TRUE(fx.harvester.reports[0].second.is_int());
+}
+
+TEST(UseCaseE2E, HierarchicalHhDrillsIntoPrefixes) {
+  Fixture fx;
+  fx.install("Hier. HH",
+             {{"threshold", Value(std::int64_t{100'000})},
+              {"hitterAction",
+               Value(almanac::ActionValue{asic::RuleAction::kCount, 0})}});
+  net::FlowSchedule sched;
+  net::FlowSpec f;
+  f.key = {fx.host(0, 0), fx.host(2, 0), 4000, 443, net::Proto::kTcp};
+  f.rate_bps = 800e6;
+  f.packet_bytes = 1400;
+  sched.add_forever(TimePoint::origin(), f);
+  fx.farm.load_traffic(std::move(sched));
+  fx.farm.run_for(Duration::sec(3));
+  // The drill state reports prefix-level hitters (strings), inherited
+  // machinery reports port-level hitters through the same harvester.
+  bool prefix_report = false;
+  for (const auto& [_, v] : fx.harvester.reports)
+    if (v.is_list() && !v.as_list()->empty() &&
+        (*v.as_list())[0].is_string())
+      prefix_report = true;
+  EXPECT_TRUE(prefix_report);
+}
+
+TEST(UseCaseE2E, BenignTrafficTriggersNoAttackDetectors) {
+  // Negative control: moderate background traffic through every attack
+  // detector must produce no reactions.
+  Fixture fx;
+  for (const char* name :
+       {"TCP SYN flood", "Port scan", "SSH brute force", "Slowloris"}) {
+    const UseCase& uc = use_case(name);
+    fx.farm.install_task(
+        {std::string("neg-") + name, uc.source, uc.machines,
+         uc.default_externals});
+  }
+  util::Rng rng(9);
+  fx.farm.load_traffic(net::background_traffic(fx.farm.topology(), rng, 50,
+                                               2e6, Duration::sec(4)));
+  fx.farm.run_for(Duration::sec(4));
+  EXPECT_EQ(fx.drop_rules(), 0);
+  EXPECT_EQ(fx.limit_rules(), 0);
+}
+
+
+TEST(UseCaseE2E, SketchSuperspreaderExtensionDetects) {
+  // §VIII extension: the bounded-memory sketch variant must catch the same
+  // attack as the list-based superspreader.
+  Fixture fx;
+  const UseCase& uc = extension_use_cases()[0];
+  auto ext = uc.default_externals;
+  ext["fanoutThreshold"] = Value(std::int64_t{12});
+  auto ids = fx.farm.install_task({"uc", uc.source, uc.machines, ext});
+  ASSERT_FALSE(ids.empty());
+  util::Rng rng(12);
+  auto sched = net::superspreader(fx.farm.topology(), rng, fx.host(0, 0), 60,
+                                  2e5, TimePoint::origin(), Duration::sec(4));
+  fx.farm.load_traffic(std::move(sched));
+  fx.farm.run_for(Duration::sec(4));
+  ASSERT_FALSE(fx.harvester.reports.empty());
+  EXPECT_EQ(fx.harvester.reports[0].second.as_string(),
+            fx.host(0, 0).to_string());
+  EXPECT_GT(fx.limit_rules(), 0);
+}
+
+TEST(UseCaseE2E, SketchEntropyExtensionSignalsCollapse) {
+  Fixture fx;
+  const UseCase& uc = extension_use_cases()[1];
+  auto ext = uc.default_externals;
+  ext["sampleTarget"] = Value(std::int64_t{100});
+  auto ids = fx.farm.install_task({"uc", uc.source, uc.machines, ext});
+  ASSERT_FALSE(ids.empty());
+  net::FlowSchedule sched;
+  net::FlowSpec f;
+  f.key = {fx.host(0, 1), fx.host(2, 1), 5000, 80, net::Proto::kTcp};
+  f.rate_bps = 400e6;
+  f.packet_bytes = 500;
+  sched.add_forever(TimePoint::origin(), f);
+  fx.farm.load_traffic(std::move(sched));
+  fx.farm.run_for(Duration::sec(3));
+  bool collapse = false;
+  for (const auto& [_, v] : fx.harvester.reports)
+    if (v.is_string() && v.as_string() == "entropy-collapse") collapse = true;
+  EXPECT_TRUE(collapse);
+}
+
+TEST(SeederMilp, MilpBackedSeederDeploysSmallFabric) {
+  FarmSystemConfig cfg;
+  cfg.topology = {.spines = 1, .leaves = 2, .hosts_per_leaf = 2};
+  cfg.seeder.use_milp = true;
+  cfg.seeder.milp_timeout_seconds = 10;
+  FarmSystem farm(cfg);
+  const UseCase& hh = use_case("Heavy hitter (HH)");
+  auto ids = farm.install_task({"hh", hh.source, hh.machines, {}});
+  EXPECT_EQ(ids.size(), farm.topology().switches().size());
+  EXPECT_FALSE(farm.seeder().last_placement().placements.empty());
+}
+
+}  // namespace
+}  // namespace farm::core

@@ -1,0 +1,125 @@
+// Tests for virtual time and deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace farm::util {
+namespace {
+
+TEST(DurationTest, ConstructorsAndConversions) {
+  EXPECT_EQ(Duration::ms(3).count_ns(), 3'000'000);
+  EXPECT_EQ(Duration::us(7).count_ns(), 7'000);
+  EXPECT_EQ(Duration::sec(2).count_ns(), 2'000'000'000);
+  EXPECT_EQ(Duration::minutes(1), Duration::sec(60));
+  EXPECT_DOUBLE_EQ(Duration::ms(1500).seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::us(2500).millis(), 2.5);
+}
+
+TEST(DurationTest, FromSecondsRounds) {
+  EXPECT_EQ(Duration::from_seconds(1e-9).count_ns(), 1);
+  EXPECT_EQ(Duration::from_seconds(0.5).count_ns(), 500'000'000);
+  EXPECT_EQ(Duration::from_seconds(1.9999999996).count_ns(), 2'000'000'000);
+}
+
+TEST(DurationTest, Arithmetic) {
+  auto a = Duration::ms(5), b = Duration::ms(3);
+  EXPECT_EQ((a + b).count_ns(), 8'000'000);
+  EXPECT_EQ((a - b).count_ns(), 2'000'000);
+  EXPECT_EQ((a * 3).count_ns(), 15'000'000);
+  EXPECT_EQ((a / 5).count_ns(), 1'000'000);
+  EXPECT_LT(b, a);
+  EXPECT_TRUE(Duration{}.is_zero());
+  EXPECT_TRUE(a.is_positive());
+  EXPECT_FALSE((b - a).is_positive());
+}
+
+TEST(TimePointTest, OffsetAndDifference) {
+  TimePoint t0 = TimePoint::origin();
+  TimePoint t1 = t0 + Duration::sec(1);
+  EXPECT_EQ((t1 - t0), Duration::sec(1));
+  EXPECT_EQ(t1 - Duration::ms(200), t0 + Duration::ms(800));
+  EXPECT_LT(t0, t1);
+}
+
+TEST(DurationTest, ToStringPicksNaturalUnit) {
+  EXPECT_EQ(Duration::sec(2).to_string(), "2s");
+  EXPECT_EQ(Duration::ms(15).to_string(), "15ms");
+  EXPECT_EQ(Duration::us(7).to_string(), "7us");
+  EXPECT_EQ(Duration::ns(13).to_string(), "13ns");
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowIsInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(RngTest, NextIntCoversClosedRange) {
+  Rng rng(6);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    lo |= v == -3;
+    hi |= v == 3;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialHasRoughlyRightMean) {
+  Rng rng(8);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.next_exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(RngTest, ZipfIsSkewedTowardLowRanks) {
+  Rng rng(9);
+  std::map<std::uint64_t, int> hist;
+  for (int i = 0; i < 5000; ++i) ++hist[rng.next_zipf(100, 1.2)];
+  EXPECT_GT(hist[1], hist[10]);
+  EXPECT_GT(hist[1], 500);
+}
+
+TEST(RngTest, WeightedRespectsZeroWeights) {
+  Rng rng(10);
+  std::vector<double> w{0, 1, 0};
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(rng.next_weighted(w), 1u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(11);
+  Rng b = a.fork();
+  int same = 0;
+  for (int i = 0; i < 50; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace farm::util
