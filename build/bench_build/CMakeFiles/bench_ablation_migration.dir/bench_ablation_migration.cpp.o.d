@@ -222,5 +222,7 @@ bench_build/CMakeFiles/bench_ablation_migration.dir/bench_ablation_migration.cpp
  /root/repo/src/farm/../net/ip.h /root/repo/src/farm/../net/sketch.h \
  /root/repo/src/farm/../util/check.h \
  /root/repo/src/farm/../almanac/interp.h \
- /root/repo/src/farm/../net/topology.h /root/repo/src/farm/../util/rng.h \
+ /root/repo/src/farm/../net/topology.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/farm/../util/rng.h \
  /root/repo/src/farm/../placement/heuristic.h

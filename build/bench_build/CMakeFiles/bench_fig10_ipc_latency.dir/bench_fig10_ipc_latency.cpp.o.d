@@ -217,12 +217,12 @@ bench_build/CMakeFiles/bench_fig10_ipc_latency.dir/bench_fig10_ipc_latency.cpp.o
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/farm/../util/check.h /root/repo/src/farm/../asic/tcam.h \
- /usr/include/c++/12/optional /root/repo/src/farm/../net/filter.h \
- /root/repo/src/farm/../net/packet.h /root/repo/src/farm/../net/ip.h \
- /root/repo/src/farm/../net/topology.h \
- /root/repo/src/farm/../net/traffic.h /root/repo/src/farm/../util/rng.h \
- /root/repo/src/farm/../sim/cpu.h /root/repo/src/farm/../farm/seeder.h \
+ /root/repo/src/farm/../util/check.h /root/repo/src/farm/../util/rng.h \
+ /root/repo/src/farm/../asic/tcam.h /usr/include/c++/12/optional \
+ /root/repo/src/farm/../net/filter.h /root/repo/src/farm/../net/packet.h \
+ /root/repo/src/farm/../net/ip.h /root/repo/src/farm/../net/topology.h \
+ /root/repo/src/farm/../net/traffic.h /root/repo/src/farm/../sim/cpu.h \
+ /root/repo/src/farm/../farm/seeder.h \
  /root/repo/src/farm/../placement/heuristic.h \
  /root/repo/src/farm/../placement/model.h \
  /root/repo/src/farm/../almanac/analysis.h /usr/include/c++/12/limits \

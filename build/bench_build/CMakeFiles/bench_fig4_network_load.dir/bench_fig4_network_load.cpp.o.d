@@ -217,13 +217,13 @@ bench_build/CMakeFiles/bench_fig4_network_load.dir/bench_fig4_network_load.cpp.o
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/farm/../util/check.h /root/repo/src/farm/../asic/tcam.h \
- /usr/include/c++/12/optional /root/repo/src/farm/../net/filter.h \
- /root/repo/src/farm/../net/packet.h /root/repo/src/farm/../net/ip.h \
- /root/repo/src/farm/../net/topology.h \
- /root/repo/src/farm/../net/traffic.h /root/repo/src/farm/../util/rng.h \
- /root/repo/src/farm/../sim/cpu.h /root/repo/src/farm/../sim/metrics.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/farm/../util/check.h /root/repo/src/farm/../util/rng.h \
+ /root/repo/src/farm/../asic/tcam.h /usr/include/c++/12/optional \
+ /root/repo/src/farm/../net/filter.h /root/repo/src/farm/../net/packet.h \
+ /root/repo/src/farm/../net/ip.h /root/repo/src/farm/../net/topology.h \
+ /root/repo/src/farm/../net/traffic.h /root/repo/src/farm/../sim/cpu.h \
+ /root/repo/src/farm/../sim/metrics.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/limits /root/repo/src/farm/../baselines/sonata.h \

@@ -223,7 +223,8 @@ examples/CMakeFiles/almanac_tool.dir/almanac_tool.cpp.o: \
  /root/repo/src/farm/../net/ip.h /root/repo/src/farm/../net/sketch.h \
  /root/repo/src/farm/../util/check.h \
  /root/repo/src/farm/../almanac/interp.h \
- /root/repo/src/farm/../net/topology.h \
+ /root/repo/src/farm/../net/topology.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/farm/../almanac/xml.h \
  /root/repo/src/farm/../almanac/parser.h \
  /root/repo/src/farm/../farm/usecases.h

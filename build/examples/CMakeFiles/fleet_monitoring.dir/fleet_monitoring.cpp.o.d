@@ -226,11 +226,12 @@ examples/CMakeFiles/fleet_monitoring.dir/fleet_monitoring.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/farm/../util/check.h /root/repo/src/farm/../asic/tcam.h \
- /root/repo/src/farm/../net/filter.h /root/repo/src/farm/../net/packet.h \
- /root/repo/src/farm/../net/ip.h /root/repo/src/farm/../net/topology.h \
- /root/repo/src/farm/../net/traffic.h /root/repo/src/farm/../util/rng.h \
- /root/repo/src/farm/../sim/cpu.h /root/repo/src/farm/../runtime/seed.h \
+ /root/repo/src/farm/../util/check.h /root/repo/src/farm/../util/rng.h \
+ /root/repo/src/farm/../asic/tcam.h /root/repo/src/farm/../net/filter.h \
+ /root/repo/src/farm/../net/packet.h /root/repo/src/farm/../net/ip.h \
+ /root/repo/src/farm/../net/topology.h \
+ /root/repo/src/farm/../net/traffic.h /root/repo/src/farm/../sim/cpu.h \
+ /root/repo/src/farm/../runtime/seed.h \
  /root/repo/src/farm/../almanac/interp.h \
  /root/repo/src/farm/../almanac/compile.h \
  /root/repo/src/farm/../almanac/ast.h \

@@ -221,7 +221,9 @@ src/almanac/CMakeFiles/farm_almanac.dir/analysis.cpp.o: \
  /root/repo/src/almanac/../net/sketch.h \
  /root/repo/src/almanac/../util/check.h \
  /root/repo/src/almanac/../almanac/interp.h \
- /root/repo/src/almanac/../net/topology.h /usr/include/c++/12/algorithm \
+ /root/repo/src/almanac/../net/topology.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \

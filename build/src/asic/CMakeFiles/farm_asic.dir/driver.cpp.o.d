@@ -144,9 +144,9 @@ src/asic/CMakeFiles/farm_asic.dir/driver.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/asic/../util/check.h /root/repo/src/asic/../asic/tcam.h \
- /usr/include/c++/12/optional /usr/include/c++/12/exception \
- /usr/include/c++/12/bits/exception_ptr.h \
+ /root/repo/src/asic/../util/check.h /root/repo/src/asic/../util/rng.h \
+ /root/repo/src/asic/../asic/tcam.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/asic/../net/filter.h /usr/include/c++/12/memory \
@@ -221,8 +221,7 @@ src/asic/CMakeFiles/farm_asic.dir/driver.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/asic/../net/packet.h /root/repo/src/asic/../net/ip.h \
  /root/repo/src/asic/../net/topology.h \
- /root/repo/src/asic/../net/traffic.h /root/repo/src/asic/../util/rng.h \
- /root/repo/src/asic/../sim/cpu.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/asic/../net/traffic.h /root/repo/src/asic/../sim/cpu.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -219,13 +219,13 @@ src/baselines/CMakeFiles/farm_baselines.dir/sflow.cpp.o: \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/baselines/../util/check.h \
+ /root/repo/src/baselines/../util/rng.h \
  /root/repo/src/baselines/../asic/tcam.h /usr/include/c++/12/optional \
  /root/repo/src/baselines/../net/filter.h \
  /root/repo/src/baselines/../net/packet.h \
  /root/repo/src/baselines/../net/ip.h \
  /root/repo/src/baselines/../net/topology.h \
  /root/repo/src/baselines/../net/traffic.h \
- /root/repo/src/baselines/../util/rng.h \
  /root/repo/src/baselines/../sim/cpu.h \
  /root/repo/src/baselines/../sim/metrics.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \

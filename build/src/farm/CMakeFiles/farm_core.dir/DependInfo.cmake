@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/farm/chaos.cpp" "src/farm/CMakeFiles/farm_core.dir/chaos.cpp.o" "gcc" "src/farm/CMakeFiles/farm_core.dir/chaos.cpp.o.d"
   "/root/repo/src/farm/seeder.cpp" "src/farm/CMakeFiles/farm_core.dir/seeder.cpp.o" "gcc" "src/farm/CMakeFiles/farm_core.dir/seeder.cpp.o.d"
   "/root/repo/src/farm/system.cpp" "src/farm/CMakeFiles/farm_core.dir/system.cpp.o" "gcc" "src/farm/CMakeFiles/farm_core.dir/system.cpp.o.d"
   "/root/repo/src/farm/usecases.cpp" "src/farm/CMakeFiles/farm_core.dir/usecases.cpp.o" "gcc" "src/farm/CMakeFiles/farm_core.dir/usecases.cpp.o.d"

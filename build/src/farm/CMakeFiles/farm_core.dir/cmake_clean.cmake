@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/farm_core.dir/chaos.cpp.o"
+  "CMakeFiles/farm_core.dir/chaos.cpp.o.d"
   "CMakeFiles/farm_core.dir/seeder.cpp.o"
   "CMakeFiles/farm_core.dir/seeder.cpp.o.d"
   "CMakeFiles/farm_core.dir/system.cpp.o"

@@ -221,7 +221,8 @@ src/farm/CMakeFiles/farm_core.dir/seeder.cpp.o: \
  /root/repo/src/farm/../net/ip.h /root/repo/src/farm/../net/sketch.h \
  /root/repo/src/farm/../util/check.h \
  /root/repo/src/farm/../almanac/interp.h \
- /root/repo/src/farm/../net/topology.h \
+ /root/repo/src/farm/../net/topology.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/farm/../placement/milp_placement.h \
  /root/repo/src/farm/../lp/milp.h /root/repo/src/farm/../lp/model.h \
  /root/repo/src/farm/../lp/simplex.h /root/repo/src/farm/../runtime/bus.h \
@@ -231,10 +232,9 @@ src/farm/CMakeFiles/farm_core.dir/seeder.cpp.o: \
  /root/repo/src/farm/../util/time.h /root/repo/src/farm/../sim/engine.h \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/farm/../net/traffic.h /root/repo/src/farm/../util/rng.h \
- /root/repo/src/farm/../sim/cpu.h /root/repo/src/farm/../runtime/seed.h \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/farm/../util/rng.h \
+ /root/repo/src/farm/../net/traffic.h /root/repo/src/farm/../sim/cpu.h \
+ /root/repo/src/farm/../runtime/seed.h \
  /root/repo/src/farm/../runtime/machine_image.h \
  /root/repo/src/farm/../almanac/parser.h \
  /root/repo/src/farm/../sim/metrics.h /usr/include/c++/12/algorithm \

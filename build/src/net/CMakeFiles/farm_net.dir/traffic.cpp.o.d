@@ -142,9 +142,11 @@ src/net/CMakeFiles/farm_net.dir/traffic.cpp.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/net/../net/topology.h /root/repo/src/net/../util/rng.h \
- /root/repo/src/net/../util/check.h /root/repo/src/net/../util/time.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/net/../net/topology.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/net/../util/rng.h /root/repo/src/net/../util/check.h \
+ /root/repo/src/net/../util/time.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \

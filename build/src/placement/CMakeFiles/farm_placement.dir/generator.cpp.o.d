@@ -225,6 +225,8 @@ src/placement/CMakeFiles/farm_placement.dir/generator.cpp.o: \
  /root/repo/src/placement/../util/check.h \
  /root/repo/src/placement/../almanac/interp.h \
  /root/repo/src/placement/../net/topology.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/placement/../util/rng.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

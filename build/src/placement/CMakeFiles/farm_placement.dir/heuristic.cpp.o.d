@@ -224,7 +224,9 @@ src/placement/CMakeFiles/farm_placement.dir/heuristic.cpp.o: \
  /root/repo/src/placement/../net/sketch.h \
  /root/repo/src/placement/../util/check.h \
  /root/repo/src/placement/../almanac/interp.h \
- /root/repo/src/placement/../net/topology.h /usr/include/c++/12/algorithm \
+ /root/repo/src/placement/../net/topology.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \

@@ -227,6 +227,8 @@ src/placement/CMakeFiles/farm_placement.dir/switch_lp.cpp.o: \
  /root/repo/src/placement/../net/ip.h \
  /root/repo/src/placement/../net/sketch.h \
  /root/repo/src/placement/../almanac/interp.h \
- /root/repo/src/placement/../net/topology.h /usr/include/c++/12/map \
+ /root/repo/src/placement/../net/topology.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h

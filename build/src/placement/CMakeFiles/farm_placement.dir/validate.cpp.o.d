@@ -251,4 +251,6 @@ src/placement/CMakeFiles/farm_placement.dir/validate.cpp.o: \
  /root/repo/src/placement/../net/sketch.h \
  /root/repo/src/placement/../util/check.h \
  /root/repo/src/placement/../almanac/interp.h \
- /root/repo/src/placement/../net/topology.h
+ /root/repo/src/placement/../net/topology.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h

@@ -219,13 +219,14 @@ src/runtime/CMakeFiles/farm_runtime.dir/bus.cpp.o: \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/runtime/../util/check.h \
+ /root/repo/src/runtime/../util/rng.h \
  /root/repo/src/runtime/../asic/tcam.h \
  /root/repo/src/runtime/../net/filter.h \
  /root/repo/src/runtime/../net/packet.h \
  /root/repo/src/runtime/../net/ip.h \
  /root/repo/src/runtime/../net/topology.h \
  /root/repo/src/runtime/../net/traffic.h \
- /root/repo/src/runtime/../util/rng.h /root/repo/src/runtime/../sim/cpu.h \
+ /root/repo/src/runtime/../sim/cpu.h \
  /root/repo/src/runtime/../runtime/seed.h \
  /root/repo/src/runtime/../almanac/interp.h \
  /root/repo/src/runtime/../almanac/compile.h \

@@ -225,6 +225,8 @@ src/runtime/CMakeFiles/farm_runtime.dir/seed.cpp.o: \
  /root/repo/src/runtime/../util/time.h \
  /root/repo/src/runtime/../almanac/analysis.h /usr/include/c++/12/limits \
  /root/repo/src/runtime/../net/topology.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/runtime/../runtime/soil.h \
  /root/repo/src/runtime/../asic/switch.h \
  /root/repo/src/runtime/../asic/pcie.h \
@@ -232,10 +234,9 @@ src/runtime/CMakeFiles/farm_runtime.dir/seed.cpp.o: \
  /root/repo/src/runtime/../sim/engine.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/runtime/../util/rng.h \
  /root/repo/src/runtime/../net/traffic.h \
- /root/repo/src/runtime/../util/rng.h /root/repo/src/runtime/../sim/cpu.h \
+ /root/repo/src/runtime/../sim/cpu.h \
  /root/repo/src/runtime/../sim/metrics.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/cpu.cpp" "src/sim/CMakeFiles/farm_sim.dir/cpu.cpp.o" "gcc" "src/sim/CMakeFiles/farm_sim.dir/cpu.cpp.o.d"
   "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/farm_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/farm_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/fault.cpp" "src/sim/CMakeFiles/farm_sim.dir/fault.cpp.o" "gcc" "src/sim/CMakeFiles/farm_sim.dir/fault.cpp.o.d"
   "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/farm_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/farm_sim.dir/metrics.cpp.o.d"
   )
 

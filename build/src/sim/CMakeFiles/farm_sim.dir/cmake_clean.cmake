@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/farm_sim.dir/cpu.cpp.o.d"
   "CMakeFiles/farm_sim.dir/engine.cpp.o"
   "CMakeFiles/farm_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/farm_sim.dir/fault.cpp.o"
+  "CMakeFiles/farm_sim.dir/fault.cpp.o.d"
   "CMakeFiles/farm_sim.dir/metrics.cpp.o"
   "CMakeFiles/farm_sim.dir/metrics.cpp.o.d"
   "libfarm_sim.a"

@@ -301,6 +301,7 @@ tests/CMakeFiles/almanac_test.dir/almanac_test.cpp.o: \
  /root/repo/src/util/../net/packet.h /root/repo/src/util/../net/ip.h \
  /root/repo/src/util/../net/sketch.h /root/repo/src/util/../util/check.h \
  /root/repo/src/util/../almanac/interp.h \
- /root/repo/src/util/../net/topology.h \
+ /root/repo/src/util/../net/topology.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/util/../almanac/lexer.h \
  /root/repo/src/util/../almanac/parser.h

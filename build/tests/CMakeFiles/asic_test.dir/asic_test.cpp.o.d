@@ -301,8 +301,8 @@ tests/CMakeFiles/asic_test.dir/asic_test.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/util/../util/check.h /root/repo/src/util/../asic/tcam.h \
- /root/repo/src/util/../net/filter.h /root/repo/src/util/../net/packet.h \
- /root/repo/src/util/../net/ip.h /root/repo/src/util/../net/topology.h \
- /root/repo/src/util/../net/traffic.h /root/repo/src/util/../util/rng.h \
- /root/repo/src/util/../sim/cpu.h
+ /root/repo/src/util/../util/check.h /root/repo/src/util/../util/rng.h \
+ /root/repo/src/util/../asic/tcam.h /root/repo/src/util/../net/filter.h \
+ /root/repo/src/util/../net/packet.h /root/repo/src/util/../net/ip.h \
+ /root/repo/src/util/../net/topology.h \
+ /root/repo/src/util/../net/traffic.h /root/repo/src/util/../sim/cpu.h

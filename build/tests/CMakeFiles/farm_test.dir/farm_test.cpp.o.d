@@ -301,7 +301,8 @@ tests/CMakeFiles/farm_test.dir/farm_test.cpp.o: \
  /root/repo/src/util/../net/packet.h /root/repo/src/util/../net/ip.h \
  /root/repo/src/util/../net/sketch.h /root/repo/src/util/../util/check.h \
  /root/repo/src/util/../almanac/interp.h \
- /root/repo/src/util/../net/topology.h \
+ /root/repo/src/util/../net/topology.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/util/../farm/harvesters.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
@@ -313,10 +314,9 @@ tests/CMakeFiles/farm_test.dir/farm_test.cpp.o: \
  /root/repo/src/util/../util/time.h /root/repo/src/util/../sim/engine.h \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/util/../net/traffic.h /root/repo/src/util/../util/rng.h \
- /root/repo/src/util/../sim/cpu.h /root/repo/src/util/../runtime/seed.h \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/../util/rng.h \
+ /root/repo/src/util/../net/traffic.h /root/repo/src/util/../sim/cpu.h \
+ /root/repo/src/util/../runtime/seed.h \
  /root/repo/src/util/../runtime/machine_image.h \
  /root/repo/src/util/../almanac/parser.h \
  /root/repo/src/util/../sim/metrics.h \

@@ -295,5 +295,7 @@ tests/CMakeFiles/net_test.dir/net_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/util/../net/filter.h /root/repo/src/util/../net/packet.h \
  /root/repo/src/util/../net/ip.h /root/repo/src/util/../net/topology.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/util/../net/traffic.h /root/repo/src/util/../util/rng.h \
  /root/repo/src/util/../util/check.h /root/repo/src/util/../util/time.h

@@ -303,7 +303,9 @@ tests/CMakeFiles/placement_test.dir/placement_test.cpp.o: \
  /root/repo/src/util/../net/packet.h /root/repo/src/util/../net/ip.h \
  /root/repo/src/util/../net/sketch.h /root/repo/src/util/../util/check.h \
  /root/repo/src/util/../almanac/interp.h \
- /root/repo/src/util/../net/topology.h /root/repo/src/util/../util/rng.h \
+ /root/repo/src/util/../net/topology.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/util/../util/rng.h \
  /root/repo/src/util/../placement/heuristic.h \
  /root/repo/src/util/../placement/milp_placement.h \
  /root/repo/src/util/../lp/milp.h /root/repo/src/util/../lp/model.h \

@@ -293,12 +293,8 @@ tests/CMakeFiles/usecase_test.dir/usecase_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/util/../farm/harvesters.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/util/../runtime/bus.h \
- /root/repo/src/util/../runtime/soil.h \
+ /root/repo/src/util/../farm/chaos.h /root/repo/src/util/../farm/system.h \
+ /root/repo/src/util/../asic/driver.h \
  /root/repo/src/util/../asic/switch.h /root/repo/src/util/../asic/pcie.h \
  /root/repo/src/util/../sim/cost_model.h \
  /root/repo/src/util/../util/time.h /root/repo/src/util/../sim/engine.h \
@@ -306,26 +302,31 @@ tests/CMakeFiles/usecase_test.dir/usecase_test.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/util/../util/check.h /root/repo/src/util/../asic/tcam.h \
- /root/repo/src/util/../net/filter.h /root/repo/src/util/../net/packet.h \
- /root/repo/src/util/../net/ip.h /root/repo/src/util/../net/topology.h \
- /root/repo/src/util/../net/traffic.h /root/repo/src/util/../util/rng.h \
- /root/repo/src/util/../sim/cpu.h /root/repo/src/util/../runtime/seed.h \
- /root/repo/src/util/../almanac/interp.h \
- /root/repo/src/util/../almanac/compile.h \
- /root/repo/src/util/../almanac/ast.h \
- /root/repo/src/util/../almanac/value.h \
- /root/repo/src/util/../net/sketch.h \
- /root/repo/src/util/../runtime/machine_image.h \
- /root/repo/src/util/../almanac/parser.h \
- /root/repo/src/util/../sim/metrics.h \
- /root/repo/src/util/../farm/system.h \
- /root/repo/src/util/../asic/driver.h \
+ /root/repo/src/util/../util/check.h /root/repo/src/util/../util/rng.h \
+ /root/repo/src/util/../asic/tcam.h /root/repo/src/util/../net/filter.h \
+ /root/repo/src/util/../net/packet.h /root/repo/src/util/../net/ip.h \
+ /root/repo/src/util/../net/topology.h \
+ /root/repo/src/util/../net/traffic.h /root/repo/src/util/../sim/cpu.h \
  /root/repo/src/util/../farm/seeder.h \
  /root/repo/src/util/../placement/heuristic.h \
  /root/repo/src/util/../placement/model.h \
  /root/repo/src/util/../almanac/analysis.h \
+ /root/repo/src/util/../almanac/compile.h \
+ /root/repo/src/util/../almanac/ast.h \
+ /root/repo/src/util/../almanac/value.h \
+ /root/repo/src/util/../net/sketch.h \
+ /root/repo/src/util/../almanac/interp.h \
  /root/repo/src/util/../placement/milp_placement.h \
  /root/repo/src/util/../lp/milp.h /root/repo/src/util/../lp/model.h \
- /root/repo/src/util/../lp/simplex.h \
+ /root/repo/src/util/../lp/simplex.h /root/repo/src/util/../runtime/bus.h \
+ /root/repo/src/util/../runtime/soil.h \
+ /root/repo/src/util/../runtime/seed.h \
+ /root/repo/src/util/../runtime/machine_image.h \
+ /root/repo/src/util/../almanac/parser.h \
+ /root/repo/src/util/../sim/metrics.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/util/../sim/fault.h \
+ /root/repo/src/util/../farm/harvesters.h \
  /root/repo/src/util/../farm/usecases.h

@@ -19,3 +19,4 @@ include("/root/repo/build/tests/usecase_test[1]_include.cmake")
 include("/root/repo/build/tests/property_test[1]_include.cmake")
 include("/root/repo/build/tests/robustness_test[1]_include.cmake")
 include("/root/repo/build/tests/sketch_test[1]_include.cmake")
+include("/root/repo/build/tests/chaos_test[1]_include.cmake")

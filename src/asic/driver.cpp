@@ -34,6 +34,10 @@ int TrafficDriver::iface_index(net::NodeId n, net::NodeId nb) const {
 }
 
 void TrafficDriver::on_tick() {
+  if (topo_.liveness_version() != cached_liveness_) {
+    path_cache_.clear();
+    cached_liveness_ = topo_.liveness_version();
+  }
   for (const auto& flow : schedule_.active_at(engine_.now() - tick_)) {
     auto src = topo_.host_by_address(flow.key.src_ip);
     auto dst = topo_.host_by_address(flow.key.dst_ip);

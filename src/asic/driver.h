@@ -44,6 +44,9 @@ class TrafficDriver {
   sim::Duration tick_;
   sim::PeriodicTask task_;
   std::unordered_map<net::FlowKey, net::Path, net::FlowKeyHash> path_cache_;
+  // Topology liveness snapshot the cache was computed against; link/switch
+  // failures invalidate every cached path so traffic reroutes.
+  std::uint64_t cached_liveness_ = 0;
   std::unordered_map<net::NodeId, std::uint64_t> delivered_;
 };
 

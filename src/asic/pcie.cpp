@@ -7,15 +7,25 @@
 namespace farm::asic {
 
 PcieBus::PcieBus(Engine& engine, double bandwidth_bps,
-                 Duration per_request_overhead)
+                 Duration per_request_overhead, std::uint64_t loss_seed)
     : engine_(engine),
       bandwidth_bps_(bandwidth_bps),
-      overhead_(per_request_overhead) {
+      overhead_(per_request_overhead),
+      loss_rng_(loss_seed) {
   FARM_CHECK(bandwidth_bps > 0);
+}
+
+void PcieBus::set_loss_rate(double p) {
+  FARM_CHECK(p >= 0 && p <= 1);
+  loss_rate_ = p;
 }
 
 void PcieBus::request(int entries, std::function<void()> on_complete) {
   FARM_CHECK(entries >= 0);
+  if (!online_) {
+    ++dropped_;
+    return;
+  }
   std::uint64_t transfer_bytes =
       static_cast<std::uint64_t>(entries) * sim::cost::kStatEntryBytes;
   Duration transfer = overhead_ + Duration::from_seconds(
@@ -26,6 +36,10 @@ void PcieBus::request(int entries, std::function<void()> on_complete) {
   busy_ += transfer;
   bytes_ += transfer_bytes;
   ++requests_;
+  if (loss_rate_ > 0 && loss_rng_.next_bool(loss_rate_)) {
+    ++dropped_;  // channel time was spent, but the payload never arrives
+    return;
+  }
   engine_.schedule_at(free_at_, [cb = std::move(on_complete)] {
     if (cb) cb();
   });

@@ -12,6 +12,7 @@
 
 #include "sim/cost_model.h"
 #include "sim/engine.h"
+#include "util/rng.h"
 
 namespace farm::asic {
 
@@ -23,11 +24,27 @@ class PcieBus {
  public:
   PcieBus(Engine& engine,
           double bandwidth_bps = sim::cost::kPciePollBandwidthBps,
-          Duration per_request_overhead = sim::cost::kPcieRequestOverhead);
+          Duration per_request_overhead = sim::cost::kPcieRequestOverhead,
+          std::uint64_t loss_seed = 0xFA17ull);
 
   // Queues a transfer of `entries` statistics entries; on_complete fires
-  // when the data has fully crossed the bus.
+  // when the data has fully crossed the bus. Under injected loss (or while
+  // offline) the completion may never fire — callers that must make
+  // progress arm their own timeout and retry (see Soil).
   void request(int entries, std::function<void()> on_complete);
+
+  // --- Fault injection -----------------------------------------------------
+  // Each request is independently lost with probability p (the transfer
+  // still occupies the channel — the data crossed, then got corrupted).
+  // The loss RNG is only consumed while p > 0, so loss-free runs are
+  // byte-identical to pre-fault-injection behaviour.
+  void set_loss_rate(double p);
+  double loss_rate() const { return loss_rate_; }
+  // Offline (switch power failure): requests vanish without occupying the
+  // channel and completions never fire.
+  void set_online(bool up) { online_ = up; }
+  bool online() const { return online_; }
+  std::uint64_t requests_dropped() const { return dropped_; }
 
   // Work not yet transferred at `now` (how far behind the bus is).
   Duration backlog() const;
@@ -46,6 +63,10 @@ class PcieBus {
   Duration busy_;       // cumulative transfer time
   std::uint64_t bytes_ = 0;
   std::uint64_t requests_ = 0;
+  util::Rng loss_rng_;
+  double loss_rate_ = 0;
+  bool online_ = true;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace farm::asic

@@ -9,16 +9,32 @@ namespace farm::asic {
 
 SwitchChassis::SwitchChassis(sim::Engine& engine, net::NodeId node,
                              std::string name, SwitchConfig config,
-                             std::uint64_t /*sample_seed*/)
+                             std::uint64_t sample_seed)
     : engine_(engine),
       node_(node),
       name_(std::move(name)),
       config_(config),
       tcam_(config.tcam_capacity, config.tcam_monitoring_reserved),
-      pcie_(engine, config.pcie_bandwidth_bps),
+      pcie_(engine, config.pcie_bandwidth_bps,
+            sim::cost::kPcieRequestOverhead, 0xFA17ull ^ sample_seed),
       cpu_(engine, config.cpu_cores, config.context_switch),
       ports_(static_cast<std::size_t>(config.n_ifaces)) {
   FARM_CHECK(config.n_ifaces > 0);
+}
+
+void SwitchChassis::power_off() {
+  if (!powered_) return;
+  powered_ = false;
+  tcam_.clear();
+  std::fill(ports_.begin(), ports_.end(), PortStats{});
+  asic_bytes_ = 0;
+  pcie_.set_online(false);
+}
+
+void SwitchChassis::power_on() {
+  if (powered_) return;
+  powered_ = true;
+  pcie_.set_online(true);
 }
 
 const PortStats& SwitchChassis::port_stats(int iface) const {
@@ -29,6 +45,7 @@ const PortStats& SwitchChassis::port_stats(int iface) const {
 double SwitchChassis::apply_flow(const net::FlowSpec& flow, int in_iface,
                                  int out_iface, sim::Duration dt) {
   FARM_CHECK(dt.is_positive());
+  if (!powered_) return 0;  // dead switch blackholes everything
   const double seconds = dt.seconds();
   double rate = flow.rate_bps;
 

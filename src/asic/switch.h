@@ -63,6 +63,16 @@ class SwitchChassis {
   int n_ifaces() const { return config_.n_ifaces; }
   const PortStats& port_stats(int iface) const;
 
+  // --- Power state (fault injection) --------------------------------------
+  // Power failure: wipes the TCAM (both regions) and all hardware counters,
+  // blackholes traffic, and silences the PCIe bus. Samplers/mirrors keep
+  // their registrations (they belong to software agents that clean up
+  // separately) but see no packets while off.
+  void power_off();
+  // Cold boot: clean TCAM, zeroed counters, PCIe back online.
+  void power_on();
+  bool powered() const { return powered_; }
+
   // Applies `dt` worth of one flow crossing this switch. in/out iface may
   // be -1 (unknown / terminating here). Returns the effective forwarded
   // rate after TCAM actions (drop → 0, rate-limit → capped), which the
@@ -106,6 +116,7 @@ class SwitchChassis {
   std::vector<Sampler> mirrors_;
   SamplerId next_sampler_ = 1;
   std::uint64_t asic_bytes_ = 0;
+  bool powered_ = true;
 };
 
 }  // namespace farm::asic

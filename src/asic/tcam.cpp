@@ -69,6 +69,8 @@ bool Tcam::remove_rule(RuleId id) {
          0;
 }
 
+void Tcam::clear() { rules_.clear(); }
+
 TcamRule* Tcam::mutable_match(const net::PacketHeader& h, int at_iface) {
   TcamRule* best = nullptr;
   for (auto& r : rules_) {

@@ -78,6 +78,10 @@ class Tcam {
   const TcamRule* find(RuleId id) const;
   const TcamRule* find(const net::Filter& pattern, TcamRegion region) const;
 
+  // Wipes every rule in both regions (switch power failure). Rule ids keep
+  // increasing across reboots so stale ids can never alias new rules.
+  void clear();
+
   const std::vector<TcamRule>& rules() const { return rules_; }
   int used(TcamRegion region) const;
   int free_space(TcamRegion region) const;

@@ -1,0 +1,45 @@
+// ChaosController — applies sim-layer fault events to a FarmSystem.
+//
+// The fault subsystem (sim/fault.h) only knows integer ids and virtual
+// time; this controller is the sink that turns each event into real
+// consequences across the stack:
+//   kLinkDown/kLinkUp     → topology liveness flip (paths recompute, the
+//                           traffic driver reroutes around the dead link);
+//   kSwitchCrash          → soil process dies (seeds, registrations, poll
+//                           groups gone), chassis powers off (TCAM and port
+//                           counters wiped, PCIe channel dead), node leaves
+//                           path computation;
+//   kSwitchReboot         → chassis powers back on with a clean slate and
+//                           the node rejoins the fabric — the seeder's
+//                           heartbeat notices and re-places seeds;
+//   kPollLossStart/Stop   → PCIe request-loss window on that switch (polls
+//                           time out and retry in the soil).
+#pragma once
+
+#include "farm/system.h"
+#include "sim/fault.h"
+
+namespace farm::core {
+
+class ChaosController {
+ public:
+  // The plan's switch/link ids must be node ids of the system's topology.
+  ChaosController(FarmSystem& system, sim::FaultPlan plan);
+
+  void arm() { injector_.arm(); }
+  void disarm() { injector_.disarm(); }
+  const sim::FaultInjector& injector() const { return injector_; }
+
+  // Target universe covering the whole fabric: every switch is crashable,
+  // every switch-switch link is flappable. Host uplinks are excluded —
+  // downing one just silences a host, which no component reacts to.
+  static sim::ChaosSpec default_spec(const FarmSystem& system);
+
+ private:
+  void apply(const sim::FaultEvent& e);
+
+  FarmSystem& system_;
+  sim::FaultInjector injector_;
+};
+
+}  // namespace farm::core

@@ -25,7 +25,72 @@ Seeder::Seeder(sim::Engine& engine, const net::SdnController& controller,
       // ongoing realization.
       if (!reoptimizing_) reoptimize();
     });
+    health_[soil->node()] = NodeHealth{engine_.now(), false};
   }
+  if (options_.heartbeat_period.is_positive() && !soils_.empty()) {
+    heartbeat_task_ = std::make_unique<sim::PeriodicTask>(
+        engine_, options_.heartbeat_period, [this] { heartbeat_tick(); });
+    heartbeat_task_->start();
+  }
+}
+
+void Seeder::heartbeat_tick() {
+  const sim::Duration limit =
+      options_.heartbeat_period *
+      static_cast<std::int64_t>(options_.heartbeat_miss_limit);
+  const sim::TimePoint now = engine_.now();
+  for (Soil* soil : soils_) {
+    NodeHealth& h = health_[soil->node()];
+    if (!h.failed && now - h.last_seen > limit) on_node_failed(*soil);
+  }
+  // Probe everyone — failed switches included, to notice reboots.
+  for (Soil* soil : soils_) {
+    net::NodeId node = soil->node();
+    bus_.ping(*soil, [this, node](bool alive) {
+      if (!alive) return;
+      auto it = health_.find(node);
+      if (it == health_.end()) return;
+      it->second.last_seen = engine_.now();
+      if (it->second.failed) on_node_recovered(node);
+    });
+  }
+}
+
+void Seeder::on_node_failed(Soil& soil) {
+  NodeHealth& h = health_[soil.node()];
+  h.failed = true;
+  detection_latency_.record((engine_.now() - h.last_seen).seconds());
+  // Stop routing seed/harvester traffic through the dead switch. The soil
+  // stays in soils_ so heartbeats keep probing it for a reboot.
+  bus_.detach_soil(soil.node());
+  // Re-place over the survivors; deployments made here replace the seeds the
+  // failure displaced.
+  std::uint64_t before = deployments_;
+  reoptimize();
+  reseed_count_.add(deployments_ - before);
+}
+
+void Seeder::on_node_recovered(net::NodeId node) {
+  NodeHealth& h = health_[node];
+  h.failed = false;
+  h.last_seen = engine_.now();
+  Soil* soil = soil_at(node);
+  if (soil) bus_.attach_soil(*soil);
+  reoptimize();
+}
+
+std::vector<net::NodeId> Seeder::failed_nodes() const {
+  std::vector<net::NodeId> out;
+  for (Soil* soil : soils_) {
+    auto it = health_.find(soil->node());
+    if (it != health_.end() && it->second.failed) out.push_back(soil->node());
+  }
+  return out;
+}
+
+bool Seeder::node_failed(net::NodeId node) const {
+  auto it = health_.find(node);
+  return it != health_.end() && it->second.failed;
 }
 
 Soil* Seeder::soil_at(net::NodeId node) const {
@@ -120,6 +185,8 @@ std::vector<Seeder::PlannedSeed> Seeder::elaborate(const TaskSpec& spec) {
 placement::PlacementProblem Seeder::build_problem() const {
   placement::PlacementProblem p;
   for (Soil* soil : soils_) {
+    // Dead switches are not placement candidates until they come back.
+    if (node_failed(soil->node())) continue;
     placement::SwitchModel sw;
     sw.node = soil->node();
     sw.capacity = soil->total_capacity();
@@ -127,6 +194,14 @@ placement::PlacementProblem Seeder::build_problem() const {
   }
   for (const auto& [name, task] : tasks_) {
     for (const auto& ps : task.seeds) {
+      // A seed whose every candidate switch is currently dead cannot exist;
+      // leaving it in the problem would fail the whole task under C1. Omit
+      // it instead — the task degrades to its surviving seeds, and the next
+      // reoptimize after a recovery brings the seed back.
+      bool any_alive = std::any_of(
+          ps.candidates.begin(), ps.candidates.end(),
+          [this](net::NodeId n) { return !node_failed(n); });
+      if (!any_alive && !ps.candidates.empty()) continue;
       placement::SeedModel sm;
       sm.id = ps.id.to_string();
       sm.task = name;
@@ -206,6 +281,9 @@ void Seeder::realize(const placement::PlacementResult& result) {
             // completion time for fidelity.
             Seed* still = source->find(id);
             if (!still) return;  // undeployed meanwhile
+            // The target died mid-transfer: keep the seed at the source and
+            // let the next reoptimize find it a new home.
+            if (!target->online()) return;
             runtime::SeedSnapshot latest = still->snapshot();
             source->undeploy(id);
             target->deploy(id, image, externals, alloc, &latest);

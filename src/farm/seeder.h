@@ -45,6 +45,11 @@ struct SeederOptions {
   bool use_milp = false;
   double milp_timeout_seconds = 10;
   placement::HeuristicOptions heuristic;
+  // Heartbeat-based switch failure detection (§II-C b: the seeder must
+  // notice dead switches and re-place their seeds). Zero disables probing.
+  sim::Duration heartbeat_period = sim::Duration::ms(250);
+  // A switch is declared dead after this many silent periods.
+  int heartbeat_miss_limit = 3;
 };
 
 class Seeder {
@@ -69,6 +74,16 @@ class Seeder {
   std::uint64_t deployments() const { return deployments_; }
   std::vector<SeedId> seeds_of_task(const std::string& name) const;
 
+  // --- Failure detection ---------------------------------------------------
+  // Switches currently considered dead (heartbeat timeout, not yet back).
+  std::vector<net::NodeId> failed_nodes() const;
+  bool node_failed(net::NodeId node) const;
+  // Time from last successful heartbeat to the dead-switch verdict, one
+  // sample per detected failure.
+  const sim::Stats& detection_latency() const { return detection_latency_; }
+  // Deployments performed to replace seeds displaced by switch failures.
+  std::uint64_t reseed_count() const { return reseed_count_.value; }
+
  private:
   struct PlannedSeed {
     SeedId id;
@@ -83,12 +98,20 @@ class Seeder {
     std::vector<PlannedSeed> seeds;
   };
 
+  struct NodeHealth {
+    sim::TimePoint last_seen;
+    bool failed = false;
+  };
+
   // Elaborates a task spec into planned seeds (steps 1-3).
   std::vector<PlannedSeed> elaborate(const TaskSpec& spec);
   void realize(const placement::PlacementResult& result);
   Soil* soil_at(net::NodeId node) const;
   // Where a planned seed currently runs, if anywhere.
   std::optional<net::NodeId> deployed_at(const SeedId& id) const;
+  void heartbeat_tick();
+  void on_node_failed(Soil& soil);
+  void on_node_recovered(net::NodeId node);
 
   sim::Engine& engine_;
   const net::SdnController& controller_;
@@ -100,6 +123,12 @@ class Seeder {
   std::uint64_t migrations_ = 0;
   std::uint64_t deployments_ = 0;
   bool reoptimizing_ = false;
+
+  // Heartbeat failure detection, keyed by switch node.
+  std::unordered_map<net::NodeId, NodeHealth> health_;
+  std::unique_ptr<sim::PeriodicTask> heartbeat_task_;
+  sim::Stats detection_latency_;
+  sim::Counter reseed_count_;
 };
 
 }  // namespace farm::core

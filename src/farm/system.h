@@ -36,6 +36,8 @@ class FarmSystem {
   sim::Engine& engine() { return engine_; }
   const net::SpineLeaf& fabric() const { return fabric_; }
   const net::Topology& topology() const { return fabric_.topo; }
+  // Mutable view for fault injection (link/node liveness flips).
+  net::Topology& topology_mut() { return fabric_.topo; }
   const net::SdnController& controller() const { return controller_; }
   MessageBus& bus() { return bus_; }
   Seeder& seeder() { return *seeder_; }

@@ -11,6 +11,7 @@ NodeId Topology::add_switch(std::string name) {
   NodeId id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(Node{id, NodeKind::kSwitch, std::move(name), {}, {}});
   adj_.emplace_back();
+  node_down_.push_back(false);
   return id;
 }
 
@@ -18,7 +19,36 @@ NodeId Topology::add_host(std::string name, Ipv4 address) {
   NodeId id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(Node{id, NodeKind::kHost, std::move(name), address, {}});
   adj_.emplace_back();
+  node_down_.push_back(false);
   return id;
+}
+
+void Topology::set_link_state(NodeId a, NodeId b, bool up) {
+  FARM_CHECK(a < nodes_.size() && b < nodes_.size() && a != b);
+  bool changed = up ? down_links_.erase(link_key(a, b)) > 0
+                    : down_links_.insert(link_key(a, b)).second;
+  if (changed) ++liveness_version_;
+}
+
+bool Topology::link_up(NodeId a, NodeId b) const {
+  return !down_links_.count(link_key(a, b));
+}
+
+void Topology::set_node_state(NodeId n, bool up) {
+  FARM_CHECK(n < nodes_.size());
+  if (node_down_[n] != !up) {
+    node_down_[n] = !up;
+    ++liveness_version_;
+  }
+}
+
+bool Topology::node_up(NodeId n) const {
+  FARM_CHECK(n < nodes_.size());
+  return !node_down_[n];
+}
+
+bool Topology::edge_usable(NodeId a, NodeId b) const {
+  return !node_down_[a] && !node_down_[b] && link_up(a, b);
 }
 
 void Topology::add_link(NodeId a, NodeId b) {
@@ -75,6 +105,7 @@ std::vector<NodeId> Topology::hosts_in(const Prefix& p) const {
 
 Path Topology::shortest_path(NodeId from, NodeId to) const {
   FARM_CHECK(from < nodes_.size() && to < nodes_.size());
+  if (node_down_[from] || node_down_[to]) return {};
   if (from == to) return {from};
   std::vector<NodeId> prev(nodes_.size(), kInvalidNode);
   std::vector<bool> seen(nodes_.size(), false);
@@ -85,7 +116,7 @@ Path Topology::shortest_path(NodeId from, NodeId to) const {
     NodeId u = q.front();
     q.pop();
     for (NodeId v : adj_[u]) {
-      if (seen[v]) continue;
+      if (seen[v] || !edge_usable(u, v)) continue;
       seen[v] = true;
       prev[v] = u;
       if (v == to) {
@@ -103,6 +134,7 @@ Path Topology::shortest_path(NodeId from, NodeId to) const {
 
 std::vector<Path> Topology::all_shortest_paths(NodeId from, NodeId to) const {
   FARM_CHECK(from < nodes_.size() && to < nodes_.size());
+  if (node_down_[from] || node_down_[to]) return {};
   if (from == to) return {{from}};
   // BFS layering, then DFS back-walk over all tight predecessor edges.
   constexpr int kUnreached = -1;
@@ -116,6 +148,7 @@ std::vector<Path> Topology::all_shortest_paths(NodeId from, NodeId to) const {
     q.pop();
     if (u == to) continue;  // no need to expand past the target
     for (NodeId v : adj_[u]) {
+      if (!edge_usable(u, v)) continue;
       if (dist[v] == kUnreached) {
         dist[v] = dist[u] + 1;
         preds[v].push_back(u);

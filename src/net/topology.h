@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "net/ip.h"
@@ -48,6 +49,21 @@ class Topology {
   const Node& node(NodeId id) const;
   std::size_t node_count() const { return nodes_.size(); }
   const std::vector<NodeId>& neighbors(NodeId id) const;
+
+  // --- Liveness (fault injection) ----------------------------------------
+  // Links and nodes start up. Downing a link or node removes it from path
+  // computation only; adjacency lists (and thus interface indices) are
+  // stable across flaps. Idempotent per state.
+  void set_link_state(NodeId a, NodeId b, bool up);
+  bool link_up(NodeId a, NodeId b) const;
+  void set_node_state(NodeId n, bool up);
+  bool node_up(NodeId n) const;
+  // Both endpoints and the link itself are up (what BFS traverses).
+  bool edge_usable(NodeId a, NodeId b) const;
+  // Monotonic counter bumped on every liveness change; path caches compare
+  // it to know when to recompute.
+  std::uint64_t liveness_version() const { return liveness_version_; }
+
   std::vector<NodeId> switches() const;
   std::vector<NodeId> hosts() const;
   // Host carrying the given address, if any.
@@ -62,8 +78,15 @@ class Topology {
   std::vector<Path> all_shortest_paths(NodeId from, NodeId to) const;
 
  private:
+  static std::uint64_t link_key(NodeId a, NodeId b) {
+    return a < b ? (std::uint64_t{a} << 32) | b : (std::uint64_t{b} << 32) | a;
+  }
+
   std::vector<Node> nodes_;
   std::vector<std::vector<NodeId>> adj_;
+  std::vector<bool> node_down_;
+  std::unordered_set<std::uint64_t> down_links_;
+  std::uint64_t liveness_version_ = 0;
 };
 
 // --- Spine-leaf builder -----------------------------------------------------

@@ -76,6 +76,18 @@ void MessageBus::to_machine(const SeedId& from, net::NodeId /*from_switch*/,
   }
 }
 
+void MessageBus::ping(Soil& soil, std::function<void(bool alive)> cb) {
+  downstream_.add(sim::cost::kHeartbeatBytes);
+  Soil* s = &soil;
+  engine_.schedule_after(
+      control_delay(sim::cost::kHeartbeatBytes), [this, s, cb] {
+        if (!s->online()) return;  // the probe dies with the switch
+        upstream_.add(sim::cost::kHeartbeatBytes);
+        engine_.schedule_after(control_delay(sim::cost::kHeartbeatBytes),
+                               [cb] { cb(true); });
+      });
+}
+
 void MessageBus::harvester_to_seed(const std::string& task, const SeedId& to,
                                    const Value& raw_payload) {
   Value payload = raw_payload.deep_copy();

@@ -39,6 +39,12 @@ class MessageBus : public SoilNetwork {
                   const Value& payload) override;
 
   // --- Harvester/seeder-originated traffic ---------------------------------
+  // Liveness probe over the management network: the callback fires with
+  // true after a round trip iff the soil's switch is powered; a dead switch
+  // never answers (the caller's timeout decides it is gone). Works on
+  // detached soils too — the seeder keeps probing failed switches to spot
+  // reboots.
+  void ping(Soil& soil, std::function<void(bool alive)> cb);
   void harvester_to_seed(const std::string& task, const SeedId& to,
                          const Value& payload);
   // All seeds of (task, machine) everywhere; machine empty = every seed of

@@ -8,6 +8,10 @@ namespace farm::runtime {
 
 namespace {
 constexpr sim::TaskId kSoilTask = 1;  // the soil's own CPU identity
+// Lost poll transfers are re-issued at most this many times per round; a
+// round that exhausts the budget is abandoned (the next periodic firing
+// starts fresh).
+constexpr int kMaxPollRetries = 3;
 }
 
 Soil::Soil(sim::Engine& engine, asic::SwitchChassis& chassis,
@@ -25,6 +29,18 @@ Soil::~Soil() {
     engine_.cancel(reg->timer);
     if (reg->sampler) chassis_.remove_sampler(reg->sampler);
   }
+}
+
+void Soil::crash() {
+  for (auto& seed : seeds_) seed->stop();
+  for (auto& reg : regs_) {
+    engine_.cancel(reg->timer);
+    if (reg->sampler) chassis_.remove_sampler(reg->sampler);
+  }
+  regs_.clear();
+  groups_.clear();  // periodic group tasks stop in their destructors
+  seeds_.clear();
+  allocations_.clear();
 }
 
 Seed* Soil::deploy(SeedId id, std::shared_ptr<MachineImage> image,
@@ -52,7 +68,7 @@ bool Soil::undeploy(const SeedId& id) {
   });
   if (it == seeds_.end()) return false;
   (*it)->stop();
-  clear_registrations(**it);
+  clear_registrations(**it, /*drop_orphaned_poll_rules=*/true);
   allocations_.erase(id.to_string());
   seeds_.erase(it);
   return true;
@@ -187,7 +203,10 @@ void Soil::deliver_to_seed(const SeedId& id, const Value& payload,
 
 // --- Trigger registration ---------------------------------------------------
 
-void Soil::clear_registrations(Seed& seed) {
+void Soil::clear_registrations(Seed& seed, bool drop_orphaned_poll_rules) {
+  // Flow-level poll subjects this seed was reading; candidates for
+  // auto-installed count-rule cleanup below.
+  std::vector<net::Filter> flow_subjects;
   for (auto& reg : regs_) {
     if (reg->seed != &seed) continue;
     engine_.cancel(reg->timer);
@@ -195,12 +214,33 @@ void Soil::clear_registrations(Seed& seed) {
       chassis_.remove_sampler(reg->sampler);
       reg->sampler = 0;
     }
+    if (reg->type == almanac::TriggerType::kPoll &&
+        reg->what.iface_footprint() == 0)
+      flow_subjects.push_back(reg->what);
   }
   std::erase_if(regs_, [&](const auto& reg) { return reg->seed == &seed; });
+  // Remove "soil-poll" count rules nobody polls anymore — undeploy churn
+  // must not leak monitoring TCAM entries. Seed-installed rules (different
+  // note) are reaction state and stay. State transitions keep the rules:
+  // a seed re-entering a polling state expects its counts to have kept
+  // accumulating (e.g. the hierarchical-HH drill loop).
+  if (!drop_orphaned_poll_rules) return;
+  for (const net::Filter& what : flow_subjects) {
+    const std::string key = what.canonical_key();
+    bool still_used = false;
+    for (const auto& reg : regs_)
+      if (reg->type == almanac::TriggerType::kPoll && reg->subject_key == key)
+        still_used = true;
+    if (still_used) continue;
+    const asic::TcamRule* rule =
+        chassis_.tcam().find(what, asic::TcamRegion::kMonitoring);
+    if (rule && rule->note == "soil-poll")
+      chassis_.tcam().remove_rules(what, asic::TcamRegion::kMonitoring);
+  }
 }
 
 void Soil::refresh_triggers(Seed& seed) {
-  clear_registrations(seed);
+  clear_registrations(seed, /*drop_orphaned_poll_rules=*/false);
   for (const auto& trig : seed.active_triggers()) register_trigger(seed, trig);
 
   // Rebuild aggregated poll groups: group period = min member interval.
@@ -323,16 +363,50 @@ void Soil::schedule_poll(Registration& reg) {
       net::Filter what = raw->what;
       SeedId id = raw->seed->id();
       std::string var = raw->var;
-      chassis_.pcie().request(entries, [this, what, id, var, due] {
-        StatsValue stats;
-        *stats.entries = resolve_subject(what);
-        // Per-request soil bookkeeping happens even without aggregation.
-        chassis_.cpu().submit(kSoilTask, sim::cost::kAggregatePerSeedCpu);
-        deliver_poll_to(id, var, stats, due);
-      });
+      pcie_poll_request(
+          entries,
+          [this, what, id, var, due] {
+            StatsValue stats;
+            *stats.entries = resolve_subject(what);
+            // Per-request soil bookkeeping happens even without aggregation.
+            chassis_.cpu().submit(kSoilTask, sim::cost::kAggregatePerSeedCpu);
+            deliver_poll_to(id, var, stats, due);
+          },
+          kMaxPollRetries);
     }
     schedule_poll(*raw);
   });
+}
+
+void Soil::pcie_poll_request(int entries, std::function<void()> on_complete,
+                             int retries_left) {
+  // `done` disambiguates completion vs timeout: whichever fires first wins;
+  // a completion arriving after its timeout is treated as lost (the retry
+  // already owns this round).
+  auto done = std::make_shared<bool>(false);
+  auto timeout_ev = std::make_shared<sim::EventId>(sim::kInvalidEvent);
+  chassis_.pcie().request(
+      entries, [this, done, timeout_ev, on_complete] {
+        if (*done) return;
+        *done = true;
+        engine_.cancel(*timeout_ev);
+        on_complete();
+      });
+  // The deadline adapts to congestion: twice the channel's current backlog
+  // (which includes this request) plus fixed slack.
+  sim::Duration wait = chassis_.pcie().backlog() * 2 + sim::Duration::ms(1);
+  *timeout_ev = engine_.schedule_after(
+      wait, [this, done, entries, on_complete, retries_left] {
+        if (*done) return;
+        *done = true;
+        poll_timeouts_.add();
+        if (retries_left > 0) {
+          poll_retries_.add();
+          pcie_poll_request(entries, on_complete, retries_left - 1);
+        } else {
+          polls_abandoned_.add();
+        }
+      });
 }
 
 void Soil::fire_poll_group(const std::string& subject_key) {
@@ -366,8 +440,9 @@ void Soil::fire_poll_group(const std::string& subject_key) {
   ++poll_requests_;
   int entries = subject_entry_count(what);
   bool as_threads = config_.seeds_as_threads;
-  chassis_.pcie().request(
-      entries, [this, what, due_targets, due_times, as_threads] {
+  pcie_poll_request(
+      entries,
+      [this, what, due_targets, due_times, as_threads] {
         StatsValue stats;
         *stats.entries = resolve_subject(what);
         // Soil-side aggregation cost: per served seed, plus an extra
@@ -382,7 +457,8 @@ void Soil::fire_poll_group(const std::string& subject_key) {
         for (std::size_t i = 0; i < due_targets.size(); ++i)
           deliver_poll_to(due_targets[i].first, due_targets[i].second, stats,
                           due_times[i]);
-      });
+      },
+      kMaxPollRetries);
 }
 
 void Soil::deliver_poll(Registration& reg, const StatsValue& stats,

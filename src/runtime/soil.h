@@ -68,6 +68,13 @@ class Soil {
   const SoilConfig& config() const { return config_; }
   net::NodeId node() const { return chassis_.node(); }
 
+  // Whether the underlying switch is powered (heartbeat probes read this).
+  bool online() const { return chassis_.powered(); }
+  // Switch power failure: every seed, registration, poll group, and
+  // allocation vanishes — the process state is gone. The soil object itself
+  // survives and accepts deploys again after the chassis reboots.
+  void crash();
+
   // --- Seed lifecycle ------------------------------------------------------
   Seed* deploy(SeedId id, std::shared_ptr<MachineImage> image,
                std::unordered_map<std::string, Value> externals,
@@ -116,6 +123,11 @@ class Soil {
   std::uint64_t poll_requests_issued() const { return poll_requests_; }
   std::uint64_t poll_deliveries() const { return poll_deliveries_; }
   double polling_accuracy() const;
+  // Poll transfers that timed out on a lossy/saturated PCIe channel, the
+  // retries issued for them, and the polls abandoned after the retry budget.
+  std::uint64_t poll_timeouts() const { return poll_timeouts_.value; }
+  std::uint64_t poll_retries() const { return poll_retries_.value; }
+  std::uint64_t polls_abandoned() const { return polls_abandoned_.value; }
 
  private:
   struct Registration {
@@ -135,7 +147,10 @@ class Soil {
     std::uint64_t reservoir_seen = 0;
   };
 
-  void clear_registrations(Seed& seed);
+  // drop_orphaned_poll_rules: also remove auto-installed "soil-poll" count
+  // rules left without any polling registration (undeploy path only; state
+  // transitions keep them so counts accumulate across visits).
+  void clear_registrations(Seed& seed, bool drop_orphaned_poll_rules);
   void register_trigger(Seed& seed, const Seed::ActiveTrigger& trig);
   // Resolves the counters a filter polls; may install count rules.
   std::vector<almanac::StatEntry> resolve_subject(const net::Filter& what);
@@ -146,6 +161,11 @@ class Soil {
                     sim::TimePoint due);
   void deliver_poll_to(const SeedId& id, const std::string& var,
                        const StatsValue& stats, sim::TimePoint due);
+  // PCIe poll transfer with timeout-and-retry: a lost completion (injected
+  // message loss, or a crashed chassis) re-issues the request up to
+  // kMaxPollRetries times before abandoning this round.
+  void pcie_poll_request(int entries, std::function<void()> on_complete,
+                         int retries_left);
   sim::Duration comm_latency() const;
   sim::TaskId cpu_task_of(const Seed& seed) const;
   void check_depletion();
@@ -173,6 +193,9 @@ class Soil {
   sim::Stats poll_lateness_;
   std::uint64_t poll_requests_ = 0;
   std::uint64_t poll_deliveries_ = 0;
+  sim::Counter poll_timeouts_;
+  sim::Counter poll_retries_;
+  sim::Counter polls_abandoned_;
 };
 
 }  // namespace farm::runtime

@@ -64,5 +64,7 @@ inline constexpr int kSflowDatagramBytes = 128;
 inline constexpr int kSonataRecordBytes = 96;
 inline constexpr int kFarmReportBytes = 64;
 inline constexpr int kIpfixHeaderBytes = 16;
+// Seeder liveness probe (header + sequence number) each way.
+inline constexpr int kHeartbeatBytes = 32;
 
 }  // namespace farm::sim::cost

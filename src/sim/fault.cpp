@@ -1,0 +1,136 @@
+#include "sim/fault.h"
+
+#include "util/rng.h"
+
+namespace farm::sim {
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDown:
+      return "link-down";
+    case FaultKind::kLinkUp:
+      return "link-up";
+    case FaultKind::kSwitchCrash:
+      return "switch-crash";
+    case FaultKind::kSwitchReboot:
+      return "switch-reboot";
+    case FaultKind::kPollLossStart:
+      return "poll-loss-start";
+    case FaultKind::kPollLossStop:
+      return "poll-loss-stop";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::add(FaultEvent e) {
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_down(TimePoint at, std::uint32_t a,
+                                std::uint32_t b) {
+  return add({at, FaultKind::kLinkDown, a, b, 0});
+}
+
+FaultPlan& FaultPlan::link_up(TimePoint at, std::uint32_t a, std::uint32_t b) {
+  return add({at, FaultKind::kLinkUp, a, b, 0});
+}
+
+FaultPlan& FaultPlan::link_flap(TimePoint at, Duration downtime,
+                                std::uint32_t a, std::uint32_t b) {
+  link_down(at, a, b);
+  return link_up(at + downtime, a, b);
+}
+
+FaultPlan& FaultPlan::crash(TimePoint at, std::uint32_t node) {
+  return add({at, FaultKind::kSwitchCrash, node, 0, 0});
+}
+
+FaultPlan& FaultPlan::reboot(TimePoint at, std::uint32_t node) {
+  return add({at, FaultKind::kSwitchReboot, node, 0, 0});
+}
+
+FaultPlan& FaultPlan::crash_reboot(TimePoint at, Duration downtime,
+                                   std::uint32_t node) {
+  crash(at, node);
+  return reboot(at + downtime, node);
+}
+
+FaultPlan& FaultPlan::poll_loss(TimePoint at, Duration duration,
+                                std::uint32_t node, double p) {
+  add({at, FaultKind::kPollLossStart, node, 0, p});
+  return add({at + duration, FaultKind::kPollLossStop, node, 0, 0});
+}
+
+FaultPlan random_plan(const ChaosSpec& spec, std::uint64_t seed) {
+  FARM_CHECK(spec.end >= spec.start);
+  FARM_CHECK(spec.max_downtime >= spec.min_downtime);
+  util::Rng rng(seed);
+  FaultPlan plan;
+
+  std::vector<double> weights{spec.links.empty() ? 0.0 : spec.link_weight,
+                              spec.switches.empty() ? 0.0 : spec.crash_weight,
+                              spec.switches.empty() ? 0.0
+                                                    : spec.poll_loss_weight};
+  if (weights[0] + weights[1] + weights[2] <= 0) return plan;
+
+  const std::int64_t window_ns = (spec.end - spec.start).count_ns();
+  const std::int64_t downtime_span_ns =
+      (spec.max_downtime - spec.min_downtime).count_ns();
+  for (int i = 0; i < spec.incidents; ++i) {
+    TimePoint at =
+        spec.start + Duration::ns(window_ns > 0
+                                      ? rng.next_int(0, window_ns)
+                                      : 0);
+    Duration downtime =
+        spec.min_downtime +
+        Duration::ns(downtime_span_ns > 0 ? rng.next_int(0, downtime_span_ns)
+                                          : 0);
+    switch (rng.next_weighted(weights)) {
+      case 0: {
+        auto [a, b] = spec.links[rng.next_below(spec.links.size())];
+        plan.link_flap(at, downtime, a, b);
+        break;
+      }
+      case 1:
+        plan.crash_reboot(at, downtime,
+                          spec.switches[rng.next_below(spec.switches.size())]);
+        break;
+      default:
+        plan.poll_loss(at, downtime,
+                       spec.switches[rng.next_below(spec.switches.size())],
+                       spec.poll_loss_rate);
+        break;
+    }
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(Engine& engine, FaultPlan plan, Sink sink)
+    : engine_(engine), plan_(std::move(plan)), sink_(std::move(sink)) {}
+
+void FaultInjector::arm() {
+  FARM_CHECK_MSG(!armed_, "fault injector armed twice");
+  armed_ = true;
+  pending_.reserve(plan_.size());
+  for (const FaultEvent& e : plan_.events()) {
+    // Scheduling in plan order makes equal-timestamp events (and events
+    // already in the past, clamped to now) fire in plan order — the engine
+    // breaks ties by scheduling sequence.
+    TimePoint at = e.at < engine_.now() ? engine_.now() : e.at;
+    pending_.push_back(engine_.schedule_at(at, [this, e] { fire(e); }));
+  }
+}
+
+void FaultInjector::disarm() {
+  for (EventId id : pending_) engine_.cancel(id);
+  pending_.clear();
+}
+
+void FaultInjector::fire(const FaultEvent& e) {
+  history_.push_back(e);
+  ++by_kind_[static_cast<std::size_t>(e.kind)];
+  if (sink_) sink_(e);
+}
+
+}  // namespace farm::sim

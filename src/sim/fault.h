@@ -1,0 +1,127 @@
+// Deterministic fault injection for chaos experiments.
+//
+// A FaultPlan is a scripted timeline of fault events (link down/up, switch
+// crash/reboot, poll-channel loss windows) — built explicitly or generated
+// from an RNG seed over a caller-supplied target universe. The
+// FaultInjector schedules every event on the Engine's virtual clock, so a
+// run with the same plan (same seed) replays byte-identically. This layer
+// is deliberately ignorant of topology/ASIC types: upper layers register a
+// sink that applies each event to the real components (see farm/chaos.h).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace farm::sim {
+
+enum class FaultKind : std::uint8_t {
+  kLinkDown,
+  kLinkUp,
+  kSwitchCrash,
+  kSwitchReboot,
+  kPollLossStart,  // param = per-request loss probability
+  kPollLossStop,
+};
+inline constexpr int kFaultKindCount = 6;
+
+std::string to_string(FaultKind kind);
+
+struct FaultEvent {
+  TimePoint at;
+  FaultKind kind = FaultKind::kLinkDown;
+  std::uint32_t a = 0;  // switch id, or first link endpoint
+  std::uint32_t b = 0;  // second link endpoint (link faults only)
+  double param = 0;     // kPollLossStart: loss probability in [0, 1]
+};
+
+// A timeline of fault events. Order within equal timestamps is plan order.
+class FaultPlan {
+ public:
+  FaultPlan& add(FaultEvent e);
+  FaultPlan& link_down(TimePoint at, std::uint32_t a, std::uint32_t b);
+  FaultPlan& link_up(TimePoint at, std::uint32_t a, std::uint32_t b);
+  // Convenience: down at `at`, back up after `downtime`.
+  FaultPlan& link_flap(TimePoint at, Duration downtime, std::uint32_t a,
+                       std::uint32_t b);
+  FaultPlan& crash(TimePoint at, std::uint32_t node);
+  FaultPlan& reboot(TimePoint at, std::uint32_t node);
+  FaultPlan& crash_reboot(TimePoint at, Duration downtime, std::uint32_t node);
+  // Poll-channel loss window [at, at + duration) at probability p.
+  FaultPlan& poll_loss(TimePoint at, Duration duration, std::uint32_t node,
+                       double p);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+// Target universe + shape knobs for RNG-seeded plan generation. The caller
+// supplies crashable switches and flappable links (the sim layer has no
+// topology knowledge).
+struct ChaosSpec {
+  std::vector<std::uint32_t> switches;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> links;
+  TimePoint start;                      // earliest incident start
+  TimePoint end;                        // latest incident start
+  int incidents = 8;                    // each incident emits its down+up pair
+  Duration min_downtime = Duration::ms(200);
+  Duration max_downtime = Duration::sec(1);
+  double poll_loss_rate = 0.2;
+  // Relative weights of the three incident families; a family with no
+  // viable targets (e.g. no links) is skipped regardless of weight.
+  double link_weight = 1.0;
+  double crash_weight = 1.0;
+  double poll_loss_weight = 1.0;
+};
+
+// Deterministic: the same (spec, seed) always yields the same plan.
+FaultPlan random_plan(const ChaosSpec& spec, std::uint64_t seed);
+
+// Schedules a plan's events on the engine and forwards each to the sink at
+// its virtual-time instant. Counters and the executed-event history feed
+// determinism checks (two same-seed runs must match exactly).
+class FaultInjector {
+ public:
+  using Sink = std::function<void(const FaultEvent&)>;
+
+  FaultInjector(Engine& engine, FaultPlan plan, Sink sink);
+  ~FaultInjector() { disarm(); }
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Schedules every not-yet-fired event; events whose time already passed
+  // fire at the current instant, preserving plan order.
+  void arm();
+  // Cancels all pending events (already-fired ones stay in the history).
+  void disarm();
+
+  const FaultPlan& plan() const { return plan_; }
+  std::uint64_t injected() const { return history_.size(); }
+  std::uint64_t injected(FaultKind kind) const {
+    return by_kind_[static_cast<std::size_t>(kind)];
+  }
+  // Events in execution order.
+  const std::vector<FaultEvent>& history() const { return history_; }
+
+ private:
+  void fire(const FaultEvent& e);
+
+  Engine& engine_;
+  FaultPlan plan_;
+  Sink sink_;
+  bool armed_ = false;
+  std::vector<EventId> pending_;
+  std::vector<FaultEvent> history_;
+  std::array<std::uint64_t, kFaultKindCount> by_kind_{};
+};
+
+}  // namespace farm::sim

@@ -12,13 +12,17 @@
 #include <gtest/gtest.h>
 
 #include "almanac/xml.h"
+#include "farm/chaos.h"
+#include "farm/harvesters.h"
 #include "farm/usecases.h"
 #include "lp/simplex.h"
 #include "net/filter.h"
+#include "net/traffic.h"
 #include "placement/generator.h"
 #include "placement/heuristic.h"
 #include "placement/milp_placement.h"
 #include "sim/engine.h"
+#include "sim/fault.h"
 #include "util/rng.h"
 
 namespace farm {
@@ -186,6 +190,68 @@ TEST_P(EngineProperty, RandomSchedulesExecuteInOrderAndDeterministically) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, EngineProperty,
                          ::testing::Range<std::uint64_t>(1, 9));
+
+// --- Chaos determinism ------------------------------------------------------------
+// A full-system run under an RNG-seeded fault plan (link flaps, switch
+// crash/reboot cycles, PCIe loss windows) is a pure function of the seed:
+// two runs must agree on every event count and every exported metric.
+
+class ChaosProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosProperty, SeededFaultPlanReplaysToIdenticalMetrics) {
+  auto run = [&](std::uint64_t seed) {
+    core::FarmSystem farm(core::FarmSystemConfig{
+        .topology = {.spines = 2, .leaves = 3, .hosts_per_leaf = 2}});
+    core::CollectingHarvester harv(farm.engine(), "p");
+    farm.bus().attach_harvester("p", harv);
+    auto src = R"(
+      machine M {
+        place all;
+        poll portStats = Poll { .ival = 0.05, .what = port ANY };
+        long n = 0;
+        state s {
+          when (portStats as stats) do { n = n + 1; send n to harvester; }
+        }
+      }
+    )";
+    farm.install_task({"p", src, {"M"}, {}});
+
+    sim::ChaosSpec spec = core::ChaosController::default_spec(farm);
+    spec.start = sim::TimePoint::origin() + sim::Duration::ms(300);
+    spec.end = sim::TimePoint::origin() + sim::Duration::ms(2500);
+    spec.incidents = 8;
+    core::ChaosController chaos(farm, sim::random_plan(spec, seed));
+    chaos.arm();
+
+    util::Rng traffic_rng(seed ^ 0xbeef);
+    farm.load_traffic(net::background_traffic(
+        farm.topology(), traffic_rng, 30, 4e6, sim::Duration::sec(3)));
+    farm.run_for(sim::Duration::sec(4));
+
+    std::uint64_t timeouts = 0, retries = 0, abandoned = 0;
+    for (auto* s : farm.soils()) {
+      timeouts += s->poll_timeouts();
+      retries += s->poll_retries();
+      abandoned += s->polls_abandoned();
+    }
+    return std::make_tuple(
+        farm.engine().executed_events(), chaos.injector().injected(),
+        chaos.injector().history().size(), harv.count(),
+        farm.bus().upstream().bytes, farm.bus().downstream().bytes,
+        timeouts, retries, abandoned, farm.seeder().reseed_count(),
+        farm.seeder().detection_latency().count(),
+        farm.seeder().detection_latency().sum(),
+        farm.seeder().migrations_performed(), farm.seeder().deployments());
+  };
+  auto a = run(GetParam());
+  auto b = run(GetParam());
+  EXPECT_EQ(a, b);
+  // The whole plan executed.
+  EXPECT_EQ(std::get<1>(a), 16u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ChaosProperty,
+                         ::testing::Range<std::uint64_t>(1, 5));
 
 // --- LP consistency ---------------------------------------------------------------
 

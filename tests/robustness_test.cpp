@@ -4,10 +4,12 @@
 // or corrupt unrelated state.
 #include <gtest/gtest.h>
 
+#include "farm/chaos.h"
 #include "farm/harvesters.h"
 #include "farm/system.h"
 #include "farm/usecases.h"
 #include "net/traffic.h"
+#include "sim/fault.h"
 #include "util/log.h"
 
 namespace farm::core {
@@ -173,6 +175,81 @@ TEST(RobustnessTest, FullSystemRunIsDeterministic) {
                            farm.engine().executed_events());
   };
   EXPECT_EQ(run(), run());
+}
+
+TEST(RobustnessTest, RebootAfterHeartbeatTimeoutDoesNotDoubleDeploy) {
+  // The seed is re-placed on a survivor once the crash is detected; when
+  // the original switch reboots and its heartbeat returns, the seeder must
+  // not end up with two copies of the same seed.
+  FarmSystem farm(tiny());
+  auto src = R"(
+    machine M {
+      place any;
+      poll portStats = Poll { .ival = 0.05, .what = port ANY };
+      long n = 0;
+      state s { when (portStats as stats) do { n = n + 1; } }
+    }
+  )";
+  auto ids = farm.install_task({"t", src, {"M"}, {}});
+  ASSERT_EQ(ids.size(), 1u);
+  net::NodeId victim = net::kInvalidNode;
+  for (auto n : farm.topology().switches())
+    if (farm.soil(n).find(ids[0])) victim = n;
+  ASSERT_NE(victim, net::kInvalidNode);
+
+  sim::FaultPlan plan;
+  plan.crash_reboot(TimePoint::origin() + Duration::sec(1), Duration::sec(2),
+                    victim);
+  ChaosController chaos(farm, std::move(plan));
+  chaos.arm();
+  farm.run_for(Duration::sec(6));  // crash at 1 s, reboot at 3 s, settle
+
+  // Back to a fully healthy fabric…
+  EXPECT_TRUE(farm.seeder().failed_nodes().empty());
+  EXPECT_GE(farm.seeder().reseed_count(), 1u);
+  // …with exactly one copy of the seed across all soils.
+  int copies = 0;
+  for (auto n : farm.topology().switches())
+    if (farm.soil(n).find(ids[0])) ++copies;
+  EXPECT_EQ(copies, 1);
+  EXPECT_EQ(farm.seeder().seeds_of_task("t").size(), 1u);
+}
+
+TEST(RobustnessTest, CrashRebootCyclesLeakNoTcamRules) {
+  // A seed polling a flow subject auto-installs a "soil-poll" count rule.
+  // Repeated crash/reboot cycles re-deploy the seed each time; the
+  // monitoring TCAM must end every cycle at the same occupancy.
+  FarmSystem farm(tiny());
+  auto src = R"(
+    machine M {
+      place all;
+      poll flowStats = Poll { .ival = 0.05, .what = dstIP "10.0.0.0/8" };
+      long n = 0;
+      state s { when (flowStats as stats) do { n = n + 1; } }
+    }
+  )";
+  auto ids = farm.install_task({"t", src, {"M"}, {}});
+  ASSERT_FALSE(ids.empty());
+  net::NodeId leaf0 = farm.fabric().leaf_switches[0];
+  farm.run_for(Duration::ms(500));
+  std::size_t baseline = farm.chassis(leaf0).tcam().rules().size();
+  EXPECT_GT(baseline, 0u);  // the poll rule is installed
+
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    sim::FaultPlan plan;
+    plan.crash_reboot(farm.engine().now() + Duration::ms(100),
+                      Duration::sec(2), leaf0);
+    ChaosController chaos(farm, std::move(plan));
+    chaos.arm();
+    farm.run_for(Duration::sec(6));  // detect, reboot, recover, re-deploy
+    EXPECT_FALSE(farm.seeder().node_failed(leaf0)) << "cycle " << cycle;
+    EXPECT_EQ(farm.chassis(leaf0).tcam().rules().size(), baseline)
+        << "cycle " << cycle;
+  }
+  // Same story after a clean undeploy: no orphaned monitoring rules.
+  farm.seeder().remove_task("t");
+  farm.run_for(Duration::ms(200));
+  EXPECT_EQ(farm.chassis(leaf0).tcam().rules().size(), 0u);
 }
 
 TEST(RobustnessTest, UnknownHarvesterMessagesAreDropped) {

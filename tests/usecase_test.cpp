@@ -4,10 +4,12 @@
 // it — plus negative checks that benign traffic stays quiet.
 #include <gtest/gtest.h>
 
+#include "farm/chaos.h"
 #include "farm/harvesters.h"
 #include "farm/system.h"
 #include "farm/usecases.h"
 #include "net/traffic.h"
+#include "sim/fault.h"
 
 namespace farm::core {
 namespace {
@@ -131,6 +133,42 @@ TEST(UseCaseE2E, LinkFailureReportedWhenTrafficFreezes) {
   fx.farm.run_for(Duration::sec(5));
   ASSERT_FALSE(fx.harvester.reports.empty());
   EXPECT_TRUE(fx.harvester.reports[0].second.is_list());
+}
+
+TEST(UseCaseE2E, LinkFailureDetectedWhenLinkActuallyDies) {
+  // The real thing, not simulated silence: continuous traffic crosses a
+  // leaf-spine link, the link is killed by fault injection, and the ports
+  // that carried it freeze while the flow reroutes. The Link_failure seeds
+  // must detect the frozen ports and report them.
+  Fixture fx;
+  fx.install("Link failure");
+  net::FlowSchedule sched;
+  net::FlowSpec f;
+  f.key = {fx.host(0, 0), fx.host(2, 0), 4000, 80, net::Proto::kTcp};
+  f.rate_bps = 100e6;
+  sched.add_forever(TimePoint::origin(), f);
+  fx.farm.load_traffic(std::move(sched));
+
+  // Kill the spine link the flow currently uses.
+  net::NodeId src = fx.farm.fabric().hosts_by_leaf[0][0];
+  net::NodeId dst = fx.farm.fabric().hosts_by_leaf[2][0];
+  net::Path path = fx.farm.topology().shortest_path(src, dst);
+  ASSERT_EQ(path.size(), 5u);
+  sim::FaultPlan plan;
+  plan.link_down(TimePoint::origin() + Duration::sec(2), path[1], path[2]);
+  ChaosController chaos(fx.farm, std::move(plan));
+  chaos.arm();
+
+  fx.farm.run_for(Duration::sec(5));
+  ASSERT_EQ(chaos.injector().injected(), 1u);
+  // Detection fired: frozen-port lists arrived at the harvester, only
+  // after the injected failure.
+  ASSERT_FALSE(fx.harvester.reports.empty());
+  EXPECT_GT(fx.harvester.times.front(), TimePoint::origin() + Duration::sec(2));
+  EXPECT_TRUE(fx.harvester.reports[0].second.is_list());
+  EXPECT_FALSE(fx.harvester.reports[0].second.as_list()->empty());
+  // The flow itself survived via the sibling spine.
+  EXPECT_GT(fx.farm.traffic()->bytes_delivered_to(dst), 0u);
 }
 
 TEST(UseCaseE2E, EntropyCollapseSignaled) {
