@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_migration"
+  "../bench/bench_ablation_migration.pdb"
+  "CMakeFiles/bench_ablation_migration.dir/bench_ablation_migration.cpp.o"
+  "CMakeFiles/bench_ablation_migration.dir/bench_ablation_migration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

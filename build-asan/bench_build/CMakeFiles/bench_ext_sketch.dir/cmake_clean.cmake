@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_sketch"
+  "../bench/bench_ext_sketch.pdb"
+  "CMakeFiles/bench_ext_sketch.dir/bench_ext_sketch.cpp.o"
+  "CMakeFiles/bench_ext_sketch.dir/bench_ext_sketch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

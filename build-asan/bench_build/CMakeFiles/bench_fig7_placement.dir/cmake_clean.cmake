@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_placement"
+  "../bench/bench_fig7_placement.pdb"
+  "CMakeFiles/bench_fig7_placement.dir/bench_fig7_placement.cpp.o"
+  "CMakeFiles/bench_fig7_placement.dir/bench_fig7_placement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

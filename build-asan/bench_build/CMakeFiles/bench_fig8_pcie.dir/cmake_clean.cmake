@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_pcie"
+  "../bench/bench_fig8_pcie.pdb"
+  "CMakeFiles/bench_fig8_pcie.dir/bench_fig8_pcie.cpp.o"
+  "CMakeFiles/bench_fig8_pcie.dir/bench_fig8_pcie.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_aggregation"
+  "../bench/bench_fig9_aggregation.pdb"
+  "CMakeFiles/bench_fig9_aggregation.dir/bench_fig9_aggregation.cpp.o"
+  "CMakeFiles/bench_fig9_aggregation.dir/bench_fig9_aggregation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab4_responsiveness"
+  "../bench/bench_tab4_responsiveness.pdb"
+  "CMakeFiles/bench_tab4_responsiveness.dir/bench_tab4_responsiveness.cpp.o"
+  "CMakeFiles/bench_tab4_responsiveness.dir/bench_tab4_responsiveness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_responsiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

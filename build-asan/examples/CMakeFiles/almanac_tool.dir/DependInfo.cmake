@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/almanac_tool.cpp" "examples/CMakeFiles/almanac_tool.dir/almanac_tool.cpp.o" "gcc" "examples/CMakeFiles/almanac_tool.dir/almanac_tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/farm/CMakeFiles/farm_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/baselines/CMakeFiles/farm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/runtime/CMakeFiles/farm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/placement/CMakeFiles/farm_placement.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/lp/CMakeFiles/farm_lp.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/almanac/CMakeFiles/farm_almanac.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/asic/CMakeFiles/farm_asic.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/farm_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/farm_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/farm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/almanac_tool.dir/almanac_tool.cpp.o"
+  "CMakeFiles/almanac_tool.dir/almanac_tool.cpp.o.d"
+  "almanac_tool"
+  "almanac_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/almanac_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_task.dir/custom_task.cpp.o"
+  "CMakeFiles/custom_task.dir/custom_task.cpp.o.d"
+  "custom_task"
+  "custom_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

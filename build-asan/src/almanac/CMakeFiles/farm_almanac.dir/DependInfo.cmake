@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/almanac/analysis.cpp" "src/almanac/CMakeFiles/farm_almanac.dir/analysis.cpp.o" "gcc" "src/almanac/CMakeFiles/farm_almanac.dir/analysis.cpp.o.d"
+  "/root/repo/src/almanac/ast.cpp" "src/almanac/CMakeFiles/farm_almanac.dir/ast.cpp.o" "gcc" "src/almanac/CMakeFiles/farm_almanac.dir/ast.cpp.o.d"
+  "/root/repo/src/almanac/compile.cpp" "src/almanac/CMakeFiles/farm_almanac.dir/compile.cpp.o" "gcc" "src/almanac/CMakeFiles/farm_almanac.dir/compile.cpp.o.d"
+  "/root/repo/src/almanac/interp.cpp" "src/almanac/CMakeFiles/farm_almanac.dir/interp.cpp.o" "gcc" "src/almanac/CMakeFiles/farm_almanac.dir/interp.cpp.o.d"
+  "/root/repo/src/almanac/lexer.cpp" "src/almanac/CMakeFiles/farm_almanac.dir/lexer.cpp.o" "gcc" "src/almanac/CMakeFiles/farm_almanac.dir/lexer.cpp.o.d"
+  "/root/repo/src/almanac/parser.cpp" "src/almanac/CMakeFiles/farm_almanac.dir/parser.cpp.o" "gcc" "src/almanac/CMakeFiles/farm_almanac.dir/parser.cpp.o.d"
+  "/root/repo/src/almanac/value.cpp" "src/almanac/CMakeFiles/farm_almanac.dir/value.cpp.o" "gcc" "src/almanac/CMakeFiles/farm_almanac.dir/value.cpp.o.d"
+  "/root/repo/src/almanac/xml.cpp" "src/almanac/CMakeFiles/farm_almanac.dir/xml.cpp.o" "gcc" "src/almanac/CMakeFiles/farm_almanac.dir/xml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/net/CMakeFiles/farm_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/asic/CMakeFiles/farm_asic.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/farm_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/farm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

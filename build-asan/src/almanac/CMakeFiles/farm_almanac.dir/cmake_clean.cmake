@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farm_almanac.dir/analysis.cpp.o"
+  "CMakeFiles/farm_almanac.dir/analysis.cpp.o.d"
+  "CMakeFiles/farm_almanac.dir/ast.cpp.o"
+  "CMakeFiles/farm_almanac.dir/ast.cpp.o.d"
+  "CMakeFiles/farm_almanac.dir/compile.cpp.o"
+  "CMakeFiles/farm_almanac.dir/compile.cpp.o.d"
+  "CMakeFiles/farm_almanac.dir/interp.cpp.o"
+  "CMakeFiles/farm_almanac.dir/interp.cpp.o.d"
+  "CMakeFiles/farm_almanac.dir/lexer.cpp.o"
+  "CMakeFiles/farm_almanac.dir/lexer.cpp.o.d"
+  "CMakeFiles/farm_almanac.dir/parser.cpp.o"
+  "CMakeFiles/farm_almanac.dir/parser.cpp.o.d"
+  "CMakeFiles/farm_almanac.dir/value.cpp.o"
+  "CMakeFiles/farm_almanac.dir/value.cpp.o.d"
+  "CMakeFiles/farm_almanac.dir/xml.cpp.o"
+  "CMakeFiles/farm_almanac.dir/xml.cpp.o.d"
+  "libfarm_almanac.a"
+  "libfarm_almanac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farm_almanac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

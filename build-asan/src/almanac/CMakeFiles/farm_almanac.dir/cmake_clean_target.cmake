@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfarm_almanac.a"
+)

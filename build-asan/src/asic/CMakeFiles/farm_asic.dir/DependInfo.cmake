@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asic/driver.cpp" "src/asic/CMakeFiles/farm_asic.dir/driver.cpp.o" "gcc" "src/asic/CMakeFiles/farm_asic.dir/driver.cpp.o.d"
+  "/root/repo/src/asic/pcie.cpp" "src/asic/CMakeFiles/farm_asic.dir/pcie.cpp.o" "gcc" "src/asic/CMakeFiles/farm_asic.dir/pcie.cpp.o.d"
+  "/root/repo/src/asic/switch.cpp" "src/asic/CMakeFiles/farm_asic.dir/switch.cpp.o" "gcc" "src/asic/CMakeFiles/farm_asic.dir/switch.cpp.o.d"
+  "/root/repo/src/asic/tcam.cpp" "src/asic/CMakeFiles/farm_asic.dir/tcam.cpp.o" "gcc" "src/asic/CMakeFiles/farm_asic.dir/tcam.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/net/CMakeFiles/farm_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/farm_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/farm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farm_asic.dir/driver.cpp.o"
+  "CMakeFiles/farm_asic.dir/driver.cpp.o.d"
+  "CMakeFiles/farm_asic.dir/pcie.cpp.o"
+  "CMakeFiles/farm_asic.dir/pcie.cpp.o.d"
+  "CMakeFiles/farm_asic.dir/switch.cpp.o"
+  "CMakeFiles/farm_asic.dir/switch.cpp.o.d"
+  "CMakeFiles/farm_asic.dir/tcam.cpp.o"
+  "CMakeFiles/farm_asic.dir/tcam.cpp.o.d"
+  "libfarm_asic.a"
+  "libfarm_asic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farm_asic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/sflow.cpp" "src/baselines/CMakeFiles/farm_baselines.dir/sflow.cpp.o" "gcc" "src/baselines/CMakeFiles/farm_baselines.dir/sflow.cpp.o.d"
+  "/root/repo/src/baselines/sonata.cpp" "src/baselines/CMakeFiles/farm_baselines.dir/sonata.cpp.o" "gcc" "src/baselines/CMakeFiles/farm_baselines.dir/sonata.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/asic/CMakeFiles/farm_asic.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/farm_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/farm_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/farm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

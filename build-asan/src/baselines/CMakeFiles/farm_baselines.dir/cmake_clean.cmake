@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farm_baselines.dir/sflow.cpp.o"
+  "CMakeFiles/farm_baselines.dir/sflow.cpp.o.d"
+  "CMakeFiles/farm_baselines.dir/sonata.cpp.o"
+  "CMakeFiles/farm_baselines.dir/sonata.cpp.o.d"
+  "libfarm_baselines.a"
+  "libfarm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

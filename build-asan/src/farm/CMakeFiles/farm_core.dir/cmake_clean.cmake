@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farm_core.dir/chaos.cpp.o"
+  "CMakeFiles/farm_core.dir/chaos.cpp.o.d"
+  "CMakeFiles/farm_core.dir/seeder.cpp.o"
+  "CMakeFiles/farm_core.dir/seeder.cpp.o.d"
+  "CMakeFiles/farm_core.dir/system.cpp.o"
+  "CMakeFiles/farm_core.dir/system.cpp.o.d"
+  "CMakeFiles/farm_core.dir/usecases.cpp.o"
+  "CMakeFiles/farm_core.dir/usecases.cpp.o.d"
+  "libfarm_core.a"
+  "libfarm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

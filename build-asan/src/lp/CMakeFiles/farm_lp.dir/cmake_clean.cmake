@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farm_lp.dir/milp.cpp.o"
+  "CMakeFiles/farm_lp.dir/milp.cpp.o.d"
+  "CMakeFiles/farm_lp.dir/simplex.cpp.o"
+  "CMakeFiles/farm_lp.dir/simplex.cpp.o.d"
+  "libfarm_lp.a"
+  "libfarm_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farm_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

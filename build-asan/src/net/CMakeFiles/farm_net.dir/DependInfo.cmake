@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/filter.cpp" "src/net/CMakeFiles/farm_net.dir/filter.cpp.o" "gcc" "src/net/CMakeFiles/farm_net.dir/filter.cpp.o.d"
+  "/root/repo/src/net/ip.cpp" "src/net/CMakeFiles/farm_net.dir/ip.cpp.o" "gcc" "src/net/CMakeFiles/farm_net.dir/ip.cpp.o.d"
+  "/root/repo/src/net/sketch.cpp" "src/net/CMakeFiles/farm_net.dir/sketch.cpp.o" "gcc" "src/net/CMakeFiles/farm_net.dir/sketch.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/farm_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/farm_net.dir/topology.cpp.o.d"
+  "/root/repo/src/net/traffic.cpp" "src/net/CMakeFiles/farm_net.dir/traffic.cpp.o" "gcc" "src/net/CMakeFiles/farm_net.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/farm_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/farm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farm_net.dir/filter.cpp.o"
+  "CMakeFiles/farm_net.dir/filter.cpp.o.d"
+  "CMakeFiles/farm_net.dir/ip.cpp.o"
+  "CMakeFiles/farm_net.dir/ip.cpp.o.d"
+  "CMakeFiles/farm_net.dir/sketch.cpp.o"
+  "CMakeFiles/farm_net.dir/sketch.cpp.o.d"
+  "CMakeFiles/farm_net.dir/topology.cpp.o"
+  "CMakeFiles/farm_net.dir/topology.cpp.o.d"
+  "CMakeFiles/farm_net.dir/traffic.cpp.o"
+  "CMakeFiles/farm_net.dir/traffic.cpp.o.d"
+  "libfarm_net.a"
+  "libfarm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

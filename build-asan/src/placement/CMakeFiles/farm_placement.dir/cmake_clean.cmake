@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farm_placement.dir/generator.cpp.o"
+  "CMakeFiles/farm_placement.dir/generator.cpp.o.d"
+  "CMakeFiles/farm_placement.dir/heuristic.cpp.o"
+  "CMakeFiles/farm_placement.dir/heuristic.cpp.o.d"
+  "CMakeFiles/farm_placement.dir/milp_placement.cpp.o"
+  "CMakeFiles/farm_placement.dir/milp_placement.cpp.o.d"
+  "CMakeFiles/farm_placement.dir/switch_lp.cpp.o"
+  "CMakeFiles/farm_placement.dir/switch_lp.cpp.o.d"
+  "CMakeFiles/farm_placement.dir/validate.cpp.o"
+  "CMakeFiles/farm_placement.dir/validate.cpp.o.d"
+  "libfarm_placement.a"
+  "libfarm_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farm_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

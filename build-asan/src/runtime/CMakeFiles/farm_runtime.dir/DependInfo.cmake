@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/bus.cpp" "src/runtime/CMakeFiles/farm_runtime.dir/bus.cpp.o" "gcc" "src/runtime/CMakeFiles/farm_runtime.dir/bus.cpp.o.d"
+  "/root/repo/src/runtime/seed.cpp" "src/runtime/CMakeFiles/farm_runtime.dir/seed.cpp.o" "gcc" "src/runtime/CMakeFiles/farm_runtime.dir/seed.cpp.o.d"
+  "/root/repo/src/runtime/soil.cpp" "src/runtime/CMakeFiles/farm_runtime.dir/soil.cpp.o" "gcc" "src/runtime/CMakeFiles/farm_runtime.dir/soil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/almanac/CMakeFiles/farm_almanac.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/asic/CMakeFiles/farm_asic.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/farm_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/farm_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/farm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

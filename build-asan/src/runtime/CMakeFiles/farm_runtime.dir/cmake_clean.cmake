@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farm_runtime.dir/bus.cpp.o"
+  "CMakeFiles/farm_runtime.dir/bus.cpp.o.d"
+  "CMakeFiles/farm_runtime.dir/seed.cpp.o"
+  "CMakeFiles/farm_runtime.dir/seed.cpp.o.d"
+  "CMakeFiles/farm_runtime.dir/soil.cpp.o"
+  "CMakeFiles/farm_runtime.dir/soil.cpp.o.d"
+  "libfarm_runtime.a"
+  "libfarm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farm_sim.dir/cpu.cpp.o"
+  "CMakeFiles/farm_sim.dir/cpu.cpp.o.d"
+  "CMakeFiles/farm_sim.dir/engine.cpp.o"
+  "CMakeFiles/farm_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/farm_sim.dir/fault.cpp.o"
+  "CMakeFiles/farm_sim.dir/fault.cpp.o.d"
+  "CMakeFiles/farm_sim.dir/metrics.cpp.o"
+  "CMakeFiles/farm_sim.dir/metrics.cpp.o.d"
+  "libfarm_sim.a"
+  "libfarm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

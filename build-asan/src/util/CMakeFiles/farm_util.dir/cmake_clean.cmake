@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farm_util.dir/log.cpp.o"
+  "CMakeFiles/farm_util.dir/log.cpp.o.d"
+  "CMakeFiles/farm_util.dir/rng.cpp.o"
+  "CMakeFiles/farm_util.dir/rng.cpp.o.d"
+  "libfarm_util.a"
+  "libfarm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

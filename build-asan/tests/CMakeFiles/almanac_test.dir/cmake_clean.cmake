@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/almanac_test.dir/almanac_test.cpp.o"
+  "CMakeFiles/almanac_test.dir/almanac_test.cpp.o.d"
+  "almanac_test"
+  "almanac_test.pdb"
+  "almanac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/almanac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

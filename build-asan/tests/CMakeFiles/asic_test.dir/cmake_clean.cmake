@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asic_test.dir/asic_test.cpp.o"
+  "CMakeFiles/asic_test.dir/asic_test.cpp.o.d"
+  "asic_test"
+  "asic_test.pdb"
+  "asic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usecase_test.dir/usecase_test.cpp.o"
+  "CMakeFiles/usecase_test.dir/usecase_test.cpp.o.d"
+  "usecase_test"
+  "usecase_test.pdb"
+  "usecase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usecase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

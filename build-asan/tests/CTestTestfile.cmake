@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/util_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/net_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/asic_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/lp_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/almanac_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/placement_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/farm_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/xml_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/usecase_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/property_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/sketch_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/chaos_test[1]_include.cmake")
