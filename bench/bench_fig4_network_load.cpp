@@ -76,9 +76,12 @@ double farm_bytes_per_minute(int leaves) {
       farm.topology(), rng, 0.05, 600e6,
       Duration::from_seconds(60.0 / kExtrapolate),
       Duration::from_seconds(kSliceSeconds)));
-  auto before = farm.bus().upstream().bytes;
+  // Granary port: the bus mirrors its upstream meter as the "bus.up.bytes"
+  // counter; total() reads the live aggregate (exact — integer byte counts
+  // sum exactly in doubles), so the delta matches the old meter readout.
+  double before = farm.telemetry().query().label("bus.up.bytes").total();
   farm.run_for(Duration::from_seconds(kSliceSeconds));
-  return static_cast<double>(farm.bus().upstream().bytes - before) *
+  return (farm.telemetry().query().label("bus.up.bytes").total() - before) *
          kExtrapolate;
 }
 
@@ -96,7 +99,8 @@ double sflow_bytes_per_minute(int leaves, Duration period) {
                              Duration::ms(1));
   driver.start();
   f.engine.run_for(Duration::from_seconds(kSliceSeconds));
-  return static_cast<double>(collector.ingress().bytes) * kExtrapolate;
+  return f.engine.telemetry().query().label("sflow.collector.bytes").total() *
+         kExtrapolate;
 }
 
 double sonata_bytes_per_minute(int leaves) {
@@ -114,7 +118,8 @@ double sonata_bytes_per_minute(int leaves) {
                              Duration::ms(1));
   driver.start();
   f.engine.run_for(Duration::from_seconds(kSliceSeconds));
-  return static_cast<double>(processor.ingress().bytes) * kExtrapolate;
+  return f.engine.telemetry().query().label("sonata.processor.bytes").total() *
+         kExtrapolate;
 }
 
 }  // namespace

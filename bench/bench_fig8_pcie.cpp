@@ -6,11 +6,13 @@
 // the bus utilization and backlog alongside the ASIC's utilization under a
 // full traffic load; with aggregation enabled, the same seed counts cost a
 // single transfer per interval.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
 #include "farm/system.h"
 #include "runtime/soil.h"
+#include "telemetry/hub.h"
 
 using namespace farm;
 using sim::Duration;
@@ -47,8 +49,28 @@ Row run(int seeds, bool aggregate) {
   for (int i = 0; i < seeds; ++i)
     soil.deploy({"t" + std::to_string(i), "P", 0}, image, {});
   engine.run_for(Duration::sec(1));
-  return {sw.pcie().utilization(), sw.pcie().backlog().millis(),
-          soil.poll_requests_issued()};
+
+  // Granary port of PcieBus::utilization()/backlog(): the bus mirrors its
+  // cumulative busy time as the "pcie.sw.busy_ns" counter and its horizon
+  // as the "pcie.sw.free_at_ns" gauge; integer nanosecond counts round-trip
+  // through doubles exactly, so the arithmetic below reproduces the old
+  // accessor bit for bit.
+  telemetry::Hub& tel = engine.telemetry();
+  auto busy_ns = static_cast<std::int64_t>(
+      tel.query().label("pcie.sw.busy_ns").total());
+  auto free_at_ns = static_cast<std::int64_t>(
+      tel.query().label("pcie.sw.free_at_ns").total());
+  std::int64_t now_ns = engine.now().count_ns();
+  std::int64_t backlog_ns =
+      free_at_ns > now_ns ? free_at_ns - now_ns : 0;
+  double elapsed = engine.now().seconds();
+  double busy = static_cast<double>(busy_ns) / 1e9 -
+                static_cast<double>(backlog_ns) / 1e9;
+  double util =
+      elapsed <= 0 ? 0 : std::clamp(busy / elapsed, 0.0, 1.0);
+  return {util, static_cast<double>(backlog_ns) / 1e6,
+          static_cast<std::uint64_t>(
+              tel.query().label("soil.sw.poll_requests").total())};
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include "farm/harvesters.h"
 #include "farm/system.h"
 #include "farm/usecases.h"
+#include "telemetry/store.h"
 
 using namespace farm;
 using sim::Duration;
@@ -69,11 +70,17 @@ double farm_detection_ms() {
                                              1e6})}}});
   farm.load_traffic(elephant(farm, farm.fabric()));
   farm.run_for(Duration::sec(3));
-  for (std::size_t i = 0; i < harv.report_times.size(); ++i) {
-    double t = harv.report_times[i].seconds();
-    if (t > kFlowStartSec) return (t - kFlowStartSec) * 1000;
-  }
-  return -1;
+  // Granary port: the bus meters every report reaching the harvester as a
+  // "harvester.hh.reports" event at receipt time — the same instants the
+  // harvester recorded in report_times.
+  double out = -1;
+  farm.telemetry().query().label("harvester.hh.reports").for_each(
+      [&](const telemetry::EventRow& r) {
+        if (out >= 0) return;
+        double t = r.at.seconds();
+        if (t > kFlowStartSec) out = (t - kFlowStartSec) * 1000;
+      });
+  return out;
 }
 
 double sflow_detection_ms(Duration probe_period) {
@@ -114,11 +121,14 @@ double sflow_detection_ms(Duration probe_period) {
                              Duration::ms(1));
   driver.start();
   engine.run_for(Duration::sec(4));
-  for (const auto& d : collector.detections()) {
-    double t = d.at.seconds();
-    if (t > kFlowStartSec) return (t - kFlowStartSec) * 1000;
-  }
-  return -1;
+  double out = -1;
+  engine.telemetry().query().label("sflow.collector.detections").for_each(
+      [&](const telemetry::EventRow& r) {
+        if (out >= 0) return;
+        double t = r.at.seconds();
+        if (t > kFlowStartSec) out = (t - kFlowStartSec) * 1000;
+      });
+  return out;
 }
 
 double sonata_detection_ms() {
@@ -159,11 +169,14 @@ double sonata_detection_ms() {
                              Duration::ms(1));
   driver.start();
   engine.run_for(Duration::sec(10));
-  for (const auto& d : processor.detections()) {
-    double t = d.at.seconds();
-    if (t > kFlowStartSec) return (t - kFlowStartSec) * 1000;
-  }
-  return -1;
+  double out = -1;
+  engine.telemetry().query().label("sonata.processor.detections").for_each(
+      [&](const telemetry::EventRow& r) {
+        if (out >= 0) return;
+        double t = r.at.seconds();
+        if (t > kFlowStartSec) out = (t - kFlowStartSec) * 1000;
+      });
+  return out;
 }
 
 }  // namespace

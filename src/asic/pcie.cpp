@@ -1,6 +1,7 @@
 #include "asic/pcie.h"
 
 #include <algorithm>
+#include <string>
 
 #include "util/check.h"
 
@@ -13,6 +14,17 @@ PcieBus::PcieBus(Engine& engine, double bandwidth_bps,
       overhead_(per_request_overhead),
       loss_rng_(loss_seed) {
   FARM_CHECK(bandwidth_bps > 0);
+  set_telemetry_prefix("pcie.bus");
+}
+
+void PcieBus::set_telemetry_prefix(std::string_view prefix) {
+  tel_ = &engine_.telemetry();
+  std::string p(prefix);
+  m_requests_ = tel_->counter(p + ".requests");
+  m_bytes_ = tel_->counter(p + ".bytes");
+  m_busy_ns_ = tel_->counter(p + ".busy_ns");
+  m_free_at_ns_ = tel_->gauge(p + ".free_at_ns");
+  m_dropped_ = tel_->counter(p + ".dropped");
 }
 
 void PcieBus::set_loss_rate(double p) {
@@ -24,6 +36,7 @@ void PcieBus::request(int entries, std::function<void()> on_complete) {
   FARM_CHECK(entries >= 0);
   if (!online_) {
     ++dropped_;
+    tel_->add(m_dropped_);
     return;
   }
   std::uint64_t transfer_bytes =
@@ -36,8 +49,15 @@ void PcieBus::request(int entries, std::function<void()> on_complete) {
   busy_ += transfer;
   bytes_ += transfer_bytes;
   ++requests_;
+  // Per-request path: registry-only updates — a busy poll channel would
+  // otherwise flood the event ring and evict sparser, more telling rows.
+  tel_->count(m_requests_);
+  tel_->count(m_bytes_, static_cast<double>(transfer_bytes));
+  tel_->count(m_busy_ns_, static_cast<double>(transfer.count_ns()));
+  tel_->level(m_free_at_ns_, static_cast<double>(free_at_.count_ns()));
   if (loss_rate_ > 0 && loss_rng_.next_bool(loss_rate_)) {
     ++dropped_;  // channel time was spent, but the payload never arrives
+    tel_->add(m_dropped_);
     return;
   }
   engine_.schedule_at(free_at_, [cb = std::move(on_complete)] {

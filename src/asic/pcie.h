@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string_view>
 
 #include "sim/cost_model.h"
 #include "sim/engine.h"
@@ -55,6 +56,11 @@ class PcieBus {
   std::uint64_t requests_served() const { return requests_; }
   double bandwidth_bps() const { return bandwidth_bps_; }
 
+  // Re-homes this bus's Granary metrics under `<prefix>.{requests,bytes,
+  // busy_ns,free_at_ns,dropped}`; the chassis labels each bus by switch
+  // name ("pcie.leaf3"). The default prefix is "pcie.bus".
+  void set_telemetry_prefix(std::string_view prefix);
+
  private:
   Engine& engine_;
   double bandwidth_bps_;
@@ -67,6 +73,13 @@ class PcieBus {
   double loss_rate_ = 0;
   bool online_ = true;
   std::uint64_t dropped_ = 0;
+
+  telemetry::Hub* tel_ = nullptr;
+  telemetry::MetricId m_requests_ = telemetry::kInvalidMetric;
+  telemetry::MetricId m_bytes_ = telemetry::kInvalidMetric;
+  telemetry::MetricId m_busy_ns_ = telemetry::kInvalidMetric;
+  telemetry::MetricId m_free_at_ns_ = telemetry::kInvalidMetric;
+  telemetry::MetricId m_dropped_ = telemetry::kInvalidMetric;
 };
 
 }  // namespace farm::asic

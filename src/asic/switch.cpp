@@ -20,6 +20,7 @@ SwitchChassis::SwitchChassis(sim::Engine& engine, net::NodeId node,
       cpu_(engine, config.cpu_cores, config.context_switch),
       ports_(static_cast<std::size_t>(config.n_ifaces)) {
   FARM_CHECK(config.n_ifaces > 0);
+  pcie_.set_telemetry_prefix("pcie." + name_);
 }
 
 void SwitchChassis::power_off() {

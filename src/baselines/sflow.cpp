@@ -3,7 +3,11 @@
 namespace farm::baselines {
 
 SflowCollector::SflowCollector(Engine& engine, int cpu_cores)
-    : engine_(engine), cpu_(engine, cpu_cores, sim::cost::kContextSwitch) {}
+    : engine_(engine), cpu_(engine, cpu_cores, sim::cost::kContextSwitch) {
+  tel_ = &engine_.telemetry();
+  m_bytes_ = tel_->counter("sflow.collector.bytes");
+  m_detections_ = tel_->counter("sflow.collector.detections");
+}
 
 void SflowCollector::ingest(net::NodeId sw, int port, std::uint64_t tx_bytes,
                             TimePoint exported_at) {
@@ -15,6 +19,10 @@ void SflowCollector::ingest_batch(net::NodeId sw,
                                   TimePoint /*exported_at*/) {
   ingress_.add(static_cast<std::uint64_t>(sim::cost::kSflowDatagramBytes) *
                records.size());
+  tel_->add(m_bytes_,
+            static_cast<double>(
+                static_cast<std::uint64_t>(sim::cost::kSflowDatagramBytes) *
+                records.size()));
   // Records cost collector CPU; detection happens when the batch is
   // actually processed (queueing under load delays detection — the
   // collector bottleneck the paper describes).
@@ -30,8 +38,10 @@ void SflowCollector::ingest_batch(net::NodeId sw,
                   bool seen = it != last_bytes_.end();
                   std::uint64_t before = seen ? it->second : 0;
                   last_bytes_[key] = r.tx_bytes;
-                  if (seen && r.tx_bytes - before >= threshold_)
+                  if (seen && r.tx_bytes - before >= threshold_) {
                     detections_.push_back({sw, r.port, engine_.now()});
+                    tel_->add(m_detections_);
+                  }
                 }
               });
 }

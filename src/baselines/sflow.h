@@ -74,6 +74,11 @@ class SflowCollector {
   sim::ByteMeter ingress_;
   std::uint64_t processed_ = 0;
   std::vector<Detection> detections_;
+  // Granary: collector-side load and detections, comparable against
+  // bus.up.bytes / harvester.*.reports in one query.
+  telemetry::Hub* tel_ = nullptr;
+  telemetry::MetricId m_bytes_ = telemetry::kInvalidMetric;
+  telemetry::MetricId m_detections_ = telemetry::kInvalidMetric;
 };
 
 // Per-switch agent: polls all port counters over the PCIe bus each period

@@ -9,11 +9,21 @@ SonataProcessor::SonataProcessor(Engine& engine, SonataConfig config,
     : engine_(engine),
       config_(config),
       cpu_(engine, cpu_cores, sim::cost::kContextSwitch),
-      batcher_(engine, config.micro_batch, [this] { run_batch(); }) {}
+      batcher_(engine, config.micro_batch, [this] { run_batch(); }) {
+  tel_ = &engine_.telemetry();
+  m_bytes_ = tel_->counter("sonata.processor.bytes");
+  m_detections_ = tel_->counter("sonata.processor.detections");
+}
 
 void SonataProcessor::ingest(const std::string& key, std::uint64_t bytes) {
-  ingress_.add(static_cast<std::uint64_t>(config_.record_bytes));
+  meter_stream(static_cast<std::uint64_t>(config_.record_bytes));
   pending_[key] += bytes;
+}
+
+void SonataProcessor::meter_stream(std::uint64_t bytes) {
+  ingress_.add(bytes);
+  // Per-record path (one call per reduced tuple): registry-only.
+  tel_->count(m_bytes_, static_cast<double>(bytes));
 }
 
 void SonataProcessor::run_batch() {
@@ -27,7 +37,10 @@ void SonataProcessor::run_batch() {
   cpu_.submit(1, demand, [this, batch = std::move(batch)] {
     for (const auto& [key, bytes] : batch) {
       ++processed_;
-      if (bytes >= threshold_) detections_.push_back({key, engine_.now()});
+      if (bytes >= threshold_) {
+        detections_.push_back({key, engine_.now()});
+        tel_->add(m_detections_);
+      }
     }
   });
 }
@@ -96,8 +109,7 @@ void SonataQuery::on_window_end() {
                                    exported_tuples] {
     // Meter the whole reduced stream, deliver per-key aggregates.
     for (std::uint64_t i = 1; i < exported_tuples; ++i)
-      processor_.ingress().add(
-          static_cast<std::uint64_t>(config_.record_bytes));
+      processor_.meter_stream(static_cast<std::uint64_t>(config_.record_bytes));
     for (const auto& [key, v] : window) processor_.ingest(key, v.first);
   });
 }

@@ -51,6 +51,9 @@ class SonataProcessor {
 
   // A reduced tuple from a switch (already delayed by the control path).
   void ingest(const std::string& key, std::uint64_t bytes);
+  // Wire bytes that reached the processor without carrying a distinct key
+  // (the duplicate records of a reduced stream); metered only.
+  void meter_stream(std::uint64_t bytes);
 
   const sim::ByteMeter& ingress() const { return ingress_; }
   sim::ByteMeter& ingress() { return ingress_; }
@@ -73,6 +76,10 @@ class SonataProcessor {
   sim::ByteMeter ingress_;
   std::uint64_t processed_ = 0;
   std::vector<Detection> detections_;
+  // Granary: processor-side load and detections.
+  telemetry::Hub* tel_ = nullptr;
+  telemetry::MetricId m_bytes_ = telemetry::kInvalidMetric;
+  telemetry::MetricId m_detections_ = telemetry::kInvalidMetric;
 };
 
 // Switch-local part of one query: mirror + windowed reduce + export.

@@ -1,5 +1,7 @@
 #include "farm/chaos.h"
 
+#include "telemetry/hub.h"
+
 namespace farm::core {
 
 ChaosController::ChaosController(FarmSystem& system, sim::FaultPlan plan)
@@ -20,7 +22,21 @@ sim::ChaosSpec ChaosController::default_spec(const FarmSystem& system) {
   return spec;
 }
 
+void ChaosController::record_flight_to(std::string path,
+                                       std::size_t last_events) {
+  flight_armed_ = true;
+  telemetry::FlightRecorder& fr = system_.engine().telemetry().flight();
+  fr.arm(std::move(path), last_events);
+  fr.arm_on_check_failure();
+}
+
 void ChaosController::apply(const sim::FaultEvent& e) {
+  // The fault lands in the telemetry stream *before* its consequences do:
+  // chaos tests assert the chaos.<kind> mark precedes the first symptom
+  // (poll timeout, failure detection, reroute) in virtual time.
+  telemetry::Hub& tel = system_.engine().telemetry();
+  tel.mark(tel.counter("chaos." + sim::to_string(e.kind)),
+           static_cast<double>(e.a));
   net::Topology& topo = system_.topology_mut();
   switch (e.kind) {
     case sim::FaultKind::kLinkDown:
@@ -53,6 +69,10 @@ void ChaosController::apply(const sim::FaultEvent& e) {
       system_.chassis(e.a).pcie().set_loss_rate(0);
       break;
   }
+  // Each fault refreshes the dump, so the file on disk always covers the
+  // most recent injection when a run is inspected post-mortem.
+  if (flight_armed_)
+    tel.flight().trigger("chaos." + sim::to_string(e.kind));
 }
 
 }  // namespace farm::core

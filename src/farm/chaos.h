@@ -16,6 +16,8 @@
 //                           time out and retry in the soil).
 #pragma once
 
+#include <string>
+
 #include "farm/system.h"
 #include "sim/fault.h"
 
@@ -30,6 +32,13 @@ class ChaosController {
   void disarm() { injector_.disarm(); }
   const sim::FaultInjector& injector() const { return injector_; }
 
+  // Arm the system's flight recorder at `path`: every applied fault then
+  // rewrites the chrome-trace dump with the tail of the telemetry (and a
+  // FARM_CHECK failure dumps too). The trace shows each fault as an instant
+  // event "chaos.<kind>" whose value is the target node — emitted *before*
+  // the fault is applied, so fault → symptom ordering is assertable.
+  void record_flight_to(std::string path, std::size_t last_events = 4096);
+
   // Target universe covering the whole fabric: every switch is crashable,
   // every switch-switch link is flappable. Host uplinks are excluded —
   // downing one just silences a host, which no component reacts to.
@@ -40,6 +49,7 @@ class ChaosController {
 
   FarmSystem& system_;
   sim::FaultInjector injector_;
+  bool flight_armed_ = false;
 };
 
 }  // namespace farm::core

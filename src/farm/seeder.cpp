@@ -17,6 +17,15 @@ Seeder::Seeder(sim::Engine& engine, const net::SdnController& controller,
       bus_(bus),
       soils_(std::move(soils)),
       options_(options) {
+  tel_ = &engine_.telemetry();
+  track_ = tel_->track("seeder");
+  m_heartbeats_ = tel_->counter("seeder.heartbeats");
+  m_failures_ = tel_->counter("seeder.failures_detected");
+  m_recoveries_ = tel_->counter("seeder.recoveries");
+  m_reseeds_ = tel_->counter("seeder.reseeds");
+  m_deployments_ = tel_->counter("seeder.deployments");
+  m_migrations_ = tel_->counter("seeder.migrations");
+  m_reoptimizes_ = tel_->counter("seeder.reoptimizes");
   for (Soil* soil : soils_) {
     bus_.attach_soil(*soil);
     soil->set_depletion_callback([this](Soil&) {
@@ -45,6 +54,7 @@ void Seeder::heartbeat_tick() {
   }
   // Probe everyone — failed switches included, to notice reboots.
   for (Soil* soil : soils_) {
+    tel_->add(m_heartbeats_);
     net::NodeId node = soil->node();
     bus_.ping(*soil, [this, node](bool alive) {
       if (!alive) return;
@@ -60,6 +70,7 @@ void Seeder::on_node_failed(Soil& soil) {
   NodeHealth& h = health_[soil.node()];
   h.failed = true;
   detection_latency_.record((engine_.now() - h.last_seen).seconds());
+  tel_->add(m_failures_);
   // Stop routing seed/harvester traffic through the dead switch. The soil
   // stays in soils_ so heartbeats keep probing it for a reboot.
   bus_.detach_soil(soil.node());
@@ -68,9 +79,11 @@ void Seeder::on_node_failed(Soil& soil) {
   std::uint64_t before = deployments_;
   reoptimize();
   reseed_count_.add(deployments_ - before);
+  tel_->add(m_reseeds_, static_cast<double>(deployments_ - before));
 }
 
 void Seeder::on_node_recovered(net::NodeId node) {
+  tel_->add(m_recoveries_);
   NodeHealth& h = health_[node];
   h.failed = false;
   h.last_seen = engine_.now();
@@ -252,6 +265,7 @@ void Seeder::realize(const placement::PlacementResult& result) {
       if (!current) {
         target->deploy(ps.id, ps.image, ps.externals, e.alloc);
         ++deployments_;
+        tel_->add(m_deployments_);
         continue;
       }
       if (*current == e.node) {
@@ -271,6 +285,7 @@ void Seeder::realize(const placement::PlacementResult& result) {
               static_cast<double>(snap.wire_bytes()) * 8.0 /
               sim::cost::kControlLinkBandwidthBps);
       ++migrations_;
+      tel_->add(m_migrations_);
       SeedId id = ps.id;
       auto image = ps.image;
       auto externals = ps.externals;
@@ -294,6 +309,10 @@ void Seeder::realize(const placement::PlacementResult& result) {
 }
 
 void Seeder::reoptimize() {
+  tel_->add(m_reoptimizes_);
+  // The solve itself is host computation (zero virtual time); the span marks
+  // *when* placement ran so traces correlate it with the triggering fault.
+  telemetry::ScopedSpan span(*tel_, track_, "reoptimize");
   auto problem = build_problem();
   if (options_.use_milp) {
     placement::MilpPlacementOptions mo;

@@ -129,6 +129,18 @@ class Seeder {
   std::unique_ptr<sim::PeriodicTask> heartbeat_task_;
   sim::Stats detection_latency_;
   sim::Counter reseed_count_;
+
+  // Granary: seeder.* metrics and placement-solve spans on the "seeder"
+  // track; failure detections are marks so chaos traces show the verdict.
+  telemetry::Hub* tel_ = nullptr;
+  telemetry::TrackId track_ = 0;
+  telemetry::MetricId m_heartbeats_ = telemetry::kInvalidMetric;
+  telemetry::MetricId m_failures_ = telemetry::kInvalidMetric;
+  telemetry::MetricId m_recoveries_ = telemetry::kInvalidMetric;
+  telemetry::MetricId m_reseeds_ = telemetry::kInvalidMetric;
+  telemetry::MetricId m_deployments_ = telemetry::kInvalidMetric;
+  telemetry::MetricId m_migrations_ = telemetry::kInvalidMetric;
+  telemetry::MetricId m_reoptimizes_ = telemetry::kInvalidMetric;
 };
 
 }  // namespace farm::core

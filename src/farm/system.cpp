@@ -7,6 +7,7 @@ FarmSystem::FarmSystem(FarmSystemConfig config)
       fabric_(net::build_spine_leaf(config.topology)),
       controller_(fabric_.topo),
       bus_(engine_) {
+  engine_.telemetry().set_enabled(config_.telemetry);
   by_node_.assign(fabric_.topo.node_count(), nullptr);
   std::vector<Soil*> soil_ptrs;
   for (net::NodeId n : fabric_.topo.switches()) {

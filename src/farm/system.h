@@ -25,6 +25,10 @@ struct FarmSystemConfig {
   runtime::SoilConfig soil_config;
   SeederOptions seeder;
   sim::Duration traffic_tick = sim::Duration::ms(1);
+  // Granary runtime switch: false builds the system with telemetry muted
+  // (registrations still resolve; mutations short-circuit). The compile-time
+  // kill switch is the FARM_TELEMETRY CMake option.
+  bool telemetry = true;
 };
 
 class FarmSystem {
@@ -34,6 +38,7 @@ class FarmSystem {
   FarmSystem& operator=(const FarmSystem&) = delete;
 
   sim::Engine& engine() { return engine_; }
+  telemetry::Hub& telemetry() { return engine_.telemetry(); }
   const net::SpineLeaf& fabric() const { return fabric_; }
   const net::Topology& topology() const { return fabric_.topo; }
   // Mutable view for fault injection (link/node liveness flips).

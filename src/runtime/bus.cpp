@@ -6,6 +6,26 @@
 
 namespace farm::runtime {
 
+MessageBus::MessageBus(sim::Engine& engine) : engine_(engine) {
+  tel_ = &engine_.telemetry();
+  m_up_bytes_ = tel_->counter("bus.up.bytes");
+  m_up_msgs_ = tel_->counter("bus.up.msgs");
+  m_down_bytes_ = tel_->counter("bus.down.bytes");
+  m_down_msgs_ = tel_->counter("bus.down.msgs");
+}
+
+void MessageBus::meter_up(std::size_t bytes) {
+  upstream_.add(bytes);
+  tel_->add(m_up_bytes_, static_cast<double>(bytes));
+  tel_->add(m_up_msgs_);
+}
+
+void MessageBus::meter_down(std::size_t bytes) {
+  downstream_.add(bytes);
+  tel_->add(m_down_bytes_, static_cast<double>(bytes));
+  tel_->add(m_down_msgs_);
+}
+
 void MessageBus::attach_soil(Soil& soil) { soils_[soil.node()] = &soil; }
 void MessageBus::detach_soil(net::NodeId node) { soils_.erase(node); }
 
@@ -34,7 +54,7 @@ void MessageBus::to_harvester(const SeedId& from, net::NodeId from_switch,
                               const Value& raw_payload) {
   Value payload = raw_payload.deep_copy();  // wire copy: no sender aliasing
   std::size_t bytes = sim::cost::kFarmReportBytes + value_wire_bytes(payload);
-  upstream_.add(bytes);
+  meter_up(bytes);
   auto it = harvesters_.find(from.task);
   if (it == harvesters_.end()) {
     FARM_LOG(kDebug) << "no harvester for task " << from.task;
@@ -43,7 +63,7 @@ void MessageBus::to_harvester(const SeedId& from, net::NodeId from_switch,
   Harvester* h = it->second;
   engine_.schedule_after(control_delay(bytes),
                          [h, from, from_switch, payload] {
-                           h->on_seed_message(from, from_switch, payload);
+                           h->handle_seed_message(from, from_switch, payload);
                          });
 }
 
@@ -55,8 +75,8 @@ void MessageBus::to_machine(const SeedId& from, net::NodeId /*from_switch*/,
   std::size_t bytes = sim::cost::kFarmReportBytes + value_wire_bytes(payload);
   // Seed-to-seed traffic also rides the management network; it is both
   // up and down from the fabric's perspective — meter once each way.
-  upstream_.add(bytes);
-  downstream_.add(bytes);
+  meter_up(bytes);
+  meter_down(bytes);
   for (auto& [node, soil] : soils_) {
     if (dst_switch && static_cast<std::int64_t>(node) != *dst_switch)
       continue;
@@ -77,12 +97,12 @@ void MessageBus::to_machine(const SeedId& from, net::NodeId /*from_switch*/,
 }
 
 void MessageBus::ping(Soil& soil, std::function<void(bool alive)> cb) {
-  downstream_.add(sim::cost::kHeartbeatBytes);
+  meter_down(sim::cost::kHeartbeatBytes);
   Soil* s = &soil;
   engine_.schedule_after(
       control_delay(sim::cost::kHeartbeatBytes), [this, s, cb] {
         if (!s->online()) return;  // the probe dies with the switch
-        upstream_.add(sim::cost::kHeartbeatBytes);
+        meter_up(sim::cost::kHeartbeatBytes);
         engine_.schedule_after(control_delay(sim::cost::kHeartbeatBytes),
                                [cb] { cb(true); });
       });
@@ -92,7 +112,7 @@ void MessageBus::harvester_to_seed(const std::string& task, const SeedId& to,
                                    const Value& raw_payload) {
   Value payload = raw_payload.deep_copy();
   std::size_t bytes = sim::cost::kFarmReportBytes + value_wire_bytes(payload);
-  downstream_.add(bytes);
+  meter_down(bytes);
   for (auto& [node, soil] : soils_) {
     Seed* seed = soil->find(to);
     if (!seed) continue;
@@ -114,7 +134,7 @@ void MessageBus::harvester_broadcast(const std::string& task,
     for (Seed* seed : soil->seeds()) {
       if (seed->id().task != task) continue;
       if (!machine.empty() && seed->id().machine != machine) continue;
-      downstream_.add(bytes);
+      meter_down(bytes);
       Soil* s = soil;
       SeedId to = seed->id();
       engine_.schedule_after(control_delay(bytes), [s, to, payload] {

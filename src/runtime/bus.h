@@ -22,7 +22,7 @@ class Harvester;
 
 class MessageBus : public SoilNetwork {
  public:
-  explicit MessageBus(sim::Engine& engine) : engine_(engine) {}
+  explicit MessageBus(sim::Engine& engine);
 
   // Registration. Soils/harvesters must outlive the bus or deregister.
   void attach_soil(Soil& soil);
@@ -66,11 +66,21 @@ class MessageBus : public SoilNetwork {
  private:
   sim::Duration control_delay(std::size_t bytes) const;
 
+  void meter_up(std::size_t bytes);
+  void meter_down(std::size_t bytes);
+
   sim::Engine& engine_;
   std::unordered_map<net::NodeId, Soil*> soils_;
   std::unordered_map<std::string, Harvester*> harvesters_;
   sim::ByteMeter upstream_;
   sim::ByteMeter downstream_;
+  // Granary mirror of the meters: bus.{up,down}.{bytes,msgs} events let
+  // benchmarks slice management-network load by time window (Fig. 4).
+  telemetry::Hub* tel_ = nullptr;
+  telemetry::MetricId m_up_bytes_ = telemetry::kInvalidMetric;
+  telemetry::MetricId m_up_msgs_ = telemetry::kInvalidMetric;
+  telemetry::MetricId m_down_bytes_ = telemetry::kInvalidMetric;
+  telemetry::MetricId m_down_msgs_ = telemetry::kInvalidMetric;
 };
 
 // Per-task centralized coordinator (§II-C a). Subclasses implement the
@@ -88,6 +98,17 @@ class Harvester {
   virtual void on_seed_message(const SeedId& from, net::NodeId from_switch,
                                const Value& payload) = 0;
 
+  // Bus-facing entry: meters the report as "harvester.<task>.reports" before
+  // dispatching, stamped at *receipt* time — responsiveness queries (Tab. IV)
+  // care about when the harvester learned, not when the seed sent.
+  void handle_seed_message(const SeedId& from, net::NodeId from_switch,
+                           const Value& payload) {
+    if (m_reports_ == telemetry::kInvalidMetric)
+      m_reports_ = engine_.telemetry().counter("harvester." + task_ + ".reports");
+    engine_.telemetry().add(m_reports_);
+    on_seed_message(from, from_switch, payload);
+  }
+
   void bind(MessageBus& bus) { bus_ = &bus; }
   void send_to_seed(const SeedId& to, const Value& payload) {
     if (bus_) bus_->harvester_to_seed(task_, to, payload);
@@ -100,6 +121,7 @@ class Harvester {
   sim::Engine& engine_;
   std::string task_;
   MessageBus* bus_ = nullptr;
+  telemetry::MetricId m_reports_ = telemetry::kInvalidMetric;
 };
 
 }  // namespace farm::runtime

@@ -21,6 +21,9 @@ Seed::Seed(SeedId id, std::shared_ptr<MachineImage> image, Soil& soil,
       soil_(soil),
       current_state_(image_->machine.initial_state),
       interp_(image_->machine, this) {
+  tel_ = &soil_.engine().telemetry();
+  m_handlers_ = tel_->counter("seed.handlers");
+  m_transits_ = tel_->counter("seed.transits");
   // Initialize machine variables: externals override initializers.
   for (const auto* v : image_->machine.vars) {
     auto ext = externals.find(v->name);
@@ -80,6 +83,7 @@ void Seed::run_handler(const std::vector<almanac::ActionPtr>& actions,
                        const std::string& bind_name, const Value& bind_value) {
   Env scope(&env_);
   if (!bind_name.empty()) scope.define(bind_name, bind_value);
+  tel_->count(m_handlers_);  // fleet-hot: keep it off the event ring
   try {
     interp_.exec(actions, scope);
   } catch (const almanac::EvalError& e) {
@@ -118,6 +122,7 @@ void Seed::apply_pending_transit() {
           }
         }
     current_state_ = target;
+    tel_->add(m_transits_);
     // enter handlers of the new state (may request further transits —
     // handled by the loop).
     st = state();

@@ -18,6 +18,7 @@
 
 #include "almanac/interp.h"
 #include "runtime/machine_image.h"
+#include "telemetry/hub.h"
 #include "util/time.h"
 
 namespace farm::runtime {
@@ -123,6 +124,11 @@ class Seed : public almanac::SeedHost {
   SeedId id_;
   std::shared_ptr<MachineImage> image_;
   Soil& soil_;
+  // Granary: fleet-wide seed activity (shared counters — seeds are too
+  // numerous for per-instance metric names).
+  telemetry::Hub* tel_ = nullptr;
+  telemetry::MetricId m_handlers_ = telemetry::kInvalidMetric;
+  telemetry::MetricId m_transits_ = telemetry::kInvalidMetric;
   Env env_;  // machine-level environment
   std::string current_state_;
   std::optional<std::string> pending_transit_;

@@ -21,7 +21,19 @@ Soil::Soil(sim::Engine& engine, asic::SwitchChassis& chassis,
       config_(config),
       network_(network),
       exec_cost_([](const std::string&) { return sim::Duration::ms(10); }),
-      rng_(0x501Cull ^ chassis.node()) {}
+      rng_(0x501Cull ^ chassis.node()) {
+  tel_ = &engine_.telemetry();
+  const std::string p = "soil." + chassis_.name();
+  track_ = tel_->track(p);
+  m_poll_requests_ = tel_->counter(p + ".poll_requests");
+  m_poll_timeouts_ = tel_->counter(p + ".poll_timeouts");
+  m_poll_retries_ = tel_->counter(p + ".poll_retries");
+  m_polls_abandoned_ = tel_->counter(p + ".polls_abandoned");
+  m_poll_deliveries_ = tel_->counter(p + ".poll_deliveries");
+  m_poll_lateness_ms_ = tel_->histogram(
+      p + ".poll_lateness_ms",
+      telemetry::HistogramSpec::exponential(0.01, 4.0, 12));
+}
 
 Soil::~Soil() {
   for (auto& seed : seeds_) seed->stop();
@@ -359,6 +371,7 @@ void Soil::schedule_poll(Registration& reg) {
     } else {
       // Unaggregated poll: a dedicated PCIe request for this seed alone.
       ++poll_requests_;
+      tel_->add(m_poll_requests_);
       int entries = subject_entry_count(raw->what);
       net::Filter what = raw->what;
       SeedId id = raw->seed->id();
@@ -372,39 +385,44 @@ void Soil::schedule_poll(Registration& reg) {
             chassis_.cpu().submit(kSoilTask, sim::cost::kAggregatePerSeedCpu);
             deliver_poll_to(id, var, stats, due);
           },
-          kMaxPollRetries);
+          kMaxPollRetries, tel_->begin_span(track_, "poll"));
     }
     schedule_poll(*raw);
   });
 }
 
 void Soil::pcie_poll_request(int entries, std::function<void()> on_complete,
-                             int retries_left) {
+                             int retries_left, telemetry::SpanId span) {
   // `done` disambiguates completion vs timeout: whichever fires first wins;
   // a completion arriving after its timeout is treated as lost (the retry
   // already owns this round).
   auto done = std::make_shared<bool>(false);
   auto timeout_ev = std::make_shared<sim::EventId>(sim::kInvalidEvent);
   chassis_.pcie().request(
-      entries, [this, done, timeout_ev, on_complete] {
+      entries, [this, done, timeout_ev, on_complete, span] {
         if (*done) return;
         *done = true;
         engine_.cancel(*timeout_ev);
+        tel_->end_span(track_, span);
         on_complete();
       });
   // The deadline adapts to congestion: twice the channel's current backlog
   // (which includes this request) plus fixed slack.
   sim::Duration wait = chassis_.pcie().backlog() * 2 + sim::Duration::ms(1);
   *timeout_ev = engine_.schedule_after(
-      wait, [this, done, entries, on_complete, retries_left] {
+      wait, [this, done, entries, on_complete, retries_left, span] {
         if (*done) return;
         *done = true;
         poll_timeouts_.add();
+        tel_->add(m_poll_timeouts_);
         if (retries_left > 0) {
           poll_retries_.add();
-          pcie_poll_request(entries, on_complete, retries_left - 1);
+          tel_->add(m_poll_retries_);
+          pcie_poll_request(entries, on_complete, retries_left - 1, span);
         } else {
           polls_abandoned_.add();
+          tel_->add(m_polls_abandoned_);
+          tel_->end_span(track_, span);
         }
       });
 }
@@ -438,6 +456,7 @@ void Soil::fire_poll_group(const std::string& subject_key) {
 
   // One PCIe transfer serves the whole group — the aggregation benefit.
   ++poll_requests_;
+  tel_->add(m_poll_requests_);
   int entries = subject_entry_count(what);
   bool as_threads = config_.seeds_as_threads;
   pcie_poll_request(
@@ -458,7 +477,7 @@ void Soil::fire_poll_group(const std::string& subject_key) {
           deliver_poll_to(due_targets[i].first, due_targets[i].second, stats,
                           due_times[i]);
       },
-      kMaxPollRetries);
+      kMaxPollRetries, tel_->begin_span(track_, "poll_group"));
 }
 
 void Soil::deliver_poll(Registration& reg, const StatsValue& stats,
@@ -487,7 +506,9 @@ void Soil::deliver_poll_to(const SeedId& id, const std::string& var,
               Seed* s = find(id);
               if (!s) return;
               ++poll_deliveries_;
+              tel_->add(m_poll_deliveries_);
               poll_lateness_.record((engine_.now() - due).seconds());
+              tel_->observe(m_poll_lateness_ms_, (engine_.now() - due).millis());
               s->on_poll(var, stats);
             });
       });

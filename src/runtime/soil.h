@@ -163,9 +163,11 @@ class Soil {
                        const StatsValue& stats, sim::TimePoint due);
   // PCIe poll transfer with timeout-and-retry: a lost completion (injected
   // message loss, or a crashed chassis) re-issues the request up to
-  // kMaxPollRetries times before abandoning this round.
+  // kMaxPollRetries times before abandoning this round. `span` is the
+  // telemetry poll-round span, closed on final completion or abandonment.
   void pcie_poll_request(int entries, std::function<void()> on_complete,
-                         int retries_left);
+                         int retries_left,
+                         telemetry::SpanId span = telemetry::kInvalidSpan);
   sim::Duration comm_latency() const;
   sim::TaskId cpu_task_of(const Seed& seed) const;
   void check_depletion();
@@ -189,6 +191,16 @@ class Soil {
 
   DepletionCallback depletion_cb_;
   util::Rng rng_;
+  // Granary: per-soil metrics under "soil.<switch>.*" and poll-round spans
+  // (PCIe issue → stats resolved) on the "soil.<switch>" track.
+  telemetry::Hub* tel_ = nullptr;
+  telemetry::TrackId track_ = 0;
+  telemetry::MetricId m_poll_requests_ = telemetry::kInvalidMetric;
+  telemetry::MetricId m_poll_timeouts_ = telemetry::kInvalidMetric;
+  telemetry::MetricId m_poll_retries_ = telemetry::kInvalidMetric;
+  telemetry::MetricId m_polls_abandoned_ = telemetry::kInvalidMetric;
+  telemetry::MetricId m_poll_deliveries_ = telemetry::kInvalidMetric;
+  telemetry::MetricId m_poll_lateness_ms_ = telemetry::kInvalidMetric;
   sim::Stats delivery_latency_;
   sim::Stats poll_lateness_;
   std::uint64_t poll_requests_ = 0;

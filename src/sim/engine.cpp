@@ -26,10 +26,20 @@ bool Engine::step() {
     if (!live_.erase(ev.id)) continue;  // cancelled tombstone
     now_ = ev.at;
     ++executed_;
+    if (telemetry_) telemetry_->count(events_metric_);
     ev.cb();
     return true;
   }
   return false;
+}
+
+telemetry::Hub& Engine::telemetry() {
+  if (!telemetry_) {
+    telemetry_ = std::make_unique<telemetry::Hub>();
+    telemetry_->set_clock([this] { return now_; });
+    events_metric_ = telemetry_->counter("sim.engine.events");
+  }
+  return *telemetry_;
 }
 
 void Engine::run_until(TimePoint t) {

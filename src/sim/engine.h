@@ -8,10 +8,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <unordered_set>
 #include <vector>
 
+#include "telemetry/hub.h"
 #include "util/check.h"
 #include "util/time.h"
 
@@ -53,6 +55,13 @@ class Engine {
   std::size_t pending_events() const { return live_.size(); }
   std::uint64_t executed_events() const { return executed_; }
 
+  // The engine's Granary telemetry domain (one Hub per Engine, so
+  // concurrent experiments never share metrics). Created on first use with
+  // its clock bound to this engine's virtual time; engines that never call
+  // this pay only a null-pointer check per executed event.
+  telemetry::Hub& telemetry();
+  bool has_telemetry() const { return telemetry_ != nullptr; }
+
  private:
   struct Event {
     TimePoint at;
@@ -68,6 +77,8 @@ class Engine {
   TimePoint now_;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
+  std::unique_ptr<telemetry::Hub> telemetry_;
+  telemetry::MetricId events_metric_ = telemetry::kInvalidMetric;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
   // Scheduled-but-not-yet-executed (and not cancelled) event ids. Heap
   // entries not in this set are tombstones skipped by step().

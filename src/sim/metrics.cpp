@@ -1,5 +1,6 @@
 #include "sim/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace farm::sim {
@@ -20,15 +21,20 @@ double Stats::stddev() const {
 }
 
 double Stats::percentile(double p) const {
-  FARM_CHECK(p >= 0 && p <= 100);
+  p = std::clamp(p, 0.0, 100.0);
   if (empty()) return 0;
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
   }
+  // Exact extremes: nearest-rank rounding must not let float error at the
+  // endpoints pick a neighbor of the true min/max.
+  if (p <= 0) return samples_.front();
+  if (p >= 100) return samples_.back();
   std::size_t rank = static_cast<std::size_t>(
       std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
   if (rank == 0) rank = 1;
+  if (rank > samples_.size()) rank = samples_.size();
   return samples_[rank - 1];
 }
 

@@ -1,0 +1,141 @@
+#include "telemetry/export.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "telemetry/hub.h"
+#include "util/check.h"
+#include "util/log.h"
+
+namespace farm::telemetry {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Microsecond timestamps as a decimal (chrome trace "ts"/"dur" unit).
+std::string us(util::TimePoint t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                static_cast<double>(t.count_ns()) / 1e3);
+  return buf;
+}
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const Hub& hub,
+                        const ChromeTraceOptions& options) {
+  const Tracer& tracer = hub.tracer();
+  const EventStore& store = hub.events();
+  const Registry& reg = hub.registry();
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+
+  os << "{\"traceEvents\":[\n";
+  // Track (thread) names, then spans per track. pid 1 = the simulation.
+  for (TrackId t = 0; t < tracer.track_count(); ++t) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << (t + 1)
+       << ",\"args\":{\"name\":\"" << json_escape(tracer.track_name(t))
+       << "\"}}";
+    for (const Span& s : tracer.spans(t)) {
+      sep();
+      os << "{\"name\":\"" << json_escape(s.name)
+         << "\",\"cat\":\"span\",\"ph\":\"X\",\"pid\":1,\"tid\":" << (t + 1)
+         << ",\"ts\":" << us(s.begin) << ",\"dur\":"
+         << num(static_cast<double>((s.end - s.begin).count_ns()) / 1e3)
+         << ",\"args\":{\"depth\":" << s.depth << "}}";
+    }
+  }
+  // Metric events ride on tid 0; counters/gauges as "C" samples so the
+  // viewer draws them as series, marks as instant events.
+  std::size_t begin = 0;
+  if (options.last_events > 0 && store.size() > options.last_events)
+    begin = store.size() - options.last_events;
+  // For counters chrome expects the running level, not the delta; fold the
+  // retained prefix (including rows below `begin`) into per-metric levels
+  // in one pass so truncated exports still show correct totals.
+  std::vector<double> level(reg.size(), 0);
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    EventRow r = store.row(i);
+    if (r.kind == EventKind::kAdd && r.metric < level.size())
+      level[r.metric] += r.value;
+    if (i < begin) continue;
+    const std::string& name = reg.name(r.metric);
+    sep();
+    if (r.kind == EventKind::kMark) {
+      os << "{\"name\":\"" << json_escape(name)
+         << "\",\"cat\":\"mark\",\"ph\":\"i\",\"s\":\"g\",\"pid\":1,"
+         << "\"tid\":0,\"ts\":" << us(r.at) << ",\"args\":{\"value\":"
+         << num(r.value) << "}}";
+    } else {
+      double v = r.kind == EventKind::kAdd && r.metric < level.size()
+                     ? level[r.metric]
+                     : r.value;
+      os << "{\"name\":\"" << json_escape(name)
+         << "\",\"cat\":\"metric\",\"ph\":\"C\",\"pid\":1,\"tid\":0,"
+         << "\"ts\":" << us(r.at) << ",\"args\":{\"value\":" << num(v)
+         << "}}";
+    }
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+     << "\"clock\":\"sim-virtual-time\",\"reason\":\""
+     << json_escape(options.reason) << "\",\"events_total\":"
+     << store.total_appended() << ",\"events_exported\":"
+     << (store.size() - begin) << "}}\n";
+}
+
+void write_csv(std::ostream& os, const Query& query,
+               const Registry& registry) {
+  os << "time_s,metric,kind,value\n";
+  query.for_each([&](const EventRow& r) {
+    os << num(r.at.seconds()) << ',' << registry.name(r.metric) << ','
+       << to_string(r.kind) << ',' << num(r.value) << '\n';
+  });
+}
+
+void write_json_series(std::ostream& os, const Query& query,
+                       const Registry& registry) {
+  os << "[";
+  bool first = true;
+  query.for_each([&](const EventRow& r) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"t\":" << num(r.at.seconds()) << ",\"metric\":\""
+       << json_escape(registry.name(r.metric)) << "\",\"kind\":\""
+       << to_string(r.kind) << "\",\"value\":" << num(r.value) << "}";
+  });
+  os << "\n]\n";
+}
+
+}  // namespace farm::telemetry

@@ -1,0 +1,42 @@
+// Granary exporters: chrome://tracing JSON for spans + events, CSV/JSON
+// for metric series.
+//
+// The chrome trace uses the "JSON object format" ({"traceEvents": [...]})
+// so a reason/metadata block can ride along; open the file in
+// chrome://tracing or https://ui.perfetto.dev. Spans map to complete ("X")
+// events, marks to instant ("i") events, counter/gauge updates to counter
+// ("C") samples. All timestamps are sim virtual time in microseconds.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "telemetry/store.h"
+
+namespace farm::telemetry {
+
+class Hub;
+
+struct ChromeTraceOptions {
+  // Cap on metric events exported (newest win); 0 = everything retained.
+  std::size_t last_events = 0;
+  // Free-form note stored under otherData.reason (flight-record cause).
+  std::string reason;
+};
+
+void write_chrome_trace(std::ostream& os, const Hub& hub,
+                        const ChromeTraceOptions& options = {});
+
+// One row per matching event: time_s,metric,kind,value
+void write_csv(std::ostream& os, const Query& query, const Registry& registry);
+
+// JSON array of {"t": seconds, "metric": name, "kind": kind, "value": v}.
+void write_json_series(std::ostream& os, const Query& query,
+                       const Registry& registry);
+
+// Escapes a string for embedding in a JSON string literal.
+std::string json_escape(std::string_view s);
+
+}  // namespace farm::telemetry

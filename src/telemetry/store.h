@@ -1,0 +1,151 @@
+// Granary columnar event store + query API.
+//
+// Every metric update is appended as one row across parallel column arrays
+// (timestamp, metric id, kind, value) — the struct-of-arrays layout keeps
+// scans cache-friendly and the per-event footprint fixed. The store is a
+// bounded ring: when full, the oldest rows are overwritten, which is
+// exactly the retention policy the flight recorder wants ("the last N
+// events before the crash"). Timestamps are sim virtual time only, so
+// stores from two same-seed runs are identical.
+//
+// Queries are linear scans with composable filters (metric/label pattern/
+// kind/time window) and small aggregates (count, sum, percentile,
+// group-by-label-component). At experiment scale (≤ a few million events)
+// scans are a few milliseconds — no index needed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "telemetry/registry.h"
+#include "util/time.h"
+
+namespace farm::telemetry {
+
+using util::TimePoint;
+
+enum class EventKind : std::uint8_t {
+  kAdd,      // counter increment (value = delta)
+  kSet,      // gauge update (value = new level)
+  kObserve,  // histogram observation (value = sample)
+  kMark,     // point event (value = free payload, e.g. a fault target id)
+};
+
+std::string to_string(EventKind kind);
+
+struct EventRow {
+  TimePoint at;
+  MetricId metric = kInvalidMetric;
+  EventKind kind = EventKind::kMark;
+  double value = 0;
+};
+
+class EventStore {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 18;  // 256k events
+
+  explicit EventStore(std::size_t capacity = kDefaultCapacity);
+
+  void append(TimePoint at, MetricId metric, EventKind kind, double value);
+
+  // Rows currently retained (≤ capacity).
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  // Lifetime appends, including rows the ring has since overwritten.
+  std::uint64_t total_appended() const { return appended_; }
+  std::uint64_t dropped() const { return appended_ - size_; }
+
+  // Logical index: 0 = oldest retained row, size()-1 = newest.
+  EventRow row(std::size_t i) const;
+  void clear();
+
+ private:
+  std::size_t slot(std::size_t i) const { return (head_ + i) % capacity_; }
+
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // physical index of the oldest row
+  std::size_t size_ = 0;
+  std::uint64_t appended_ = 0;
+  // Parallel columns, all `size_` long (physically `capacity_` once full).
+  std::vector<std::int64_t> at_ns_;
+  std::vector<MetricId> metric_;
+  std::vector<EventKind> kind_;
+  std::vector<double> value_;
+};
+
+// Composable filter + aggregate over an EventStore. Cheap value type — build
+// one per question:
+//   double b = Query(store, reg).label("bus.up.bytes").since(t0).sum();
+class Query {
+ public:
+  Query(const EventStore& store, const Registry& registry)
+      : store_(&store), registry_(&registry) {}
+
+  Query& metric(MetricId id) {
+    metric_ = id;
+    return *this;
+  }
+  // Label pattern per label_matches(): exact name, or wildcards like
+  // "soil.*.poll_timeouts" / "chaos.**".
+  Query& label(std::string pattern) {
+    pattern_ = std::move(pattern);
+    return *this;
+  }
+  Query& kind(EventKind k) {
+    kind_ = k;
+    return *this;
+  }
+  Query& since(TimePoint t0) {  // at >= t0
+    since_ = t0;
+    return *this;
+  }
+  Query& until(TimePoint t1) {  // at <= t1
+    until_ = t1;
+    return *this;
+  }
+  Query& window(TimePoint t0, TimePoint t1) { return since(t0).until(t1); }
+
+  // --- Aggregates ------------------------------------------------------------
+  std::size_t count() const;
+  double sum() const;
+  // Sum of the *live registry aggregates* of every metric matching the
+  // metric/label filters: counter totals, gauge levels, histogram sample
+  // sums. Unlike sum(), this survives ring eviction — use it for lifetime
+  // totals on hot metrics; time-window filters do not apply.
+  double total() const;
+  double min() const;
+  double max() const;
+  double mean() const;
+  // Nearest-rank percentile over matching row values; p clamped to [0,100].
+  double percentile(double p) const;
+  std::optional<EventRow> first() const;
+  std::optional<EventRow> last() const;
+  // Value of the newest matching row, or `fallback` when nothing matches
+  // (the natural way to read a gauge "as of" the window end).
+  double last_value(double fallback = 0) const;
+  std::vector<EventRow> rows() const;
+
+  // Group rows by the i-th dot-component of their metric name (e.g. the
+  // switch in "soil.<switch>.poll_bytes" is component 1) and aggregate.
+  std::map<std::string, double> sum_by_component(int i) const;
+  std::map<std::string, std::size_t> count_by_component(int i) const;
+
+  void for_each(const std::function<void(const EventRow&)>& fn) const;
+
+ private:
+  bool matches(const EventRow& r) const;
+
+  const EventStore* store_;
+  const Registry* registry_;
+  std::optional<MetricId> metric_;
+  std::optional<std::string> pattern_;
+  std::optional<EventKind> kind_;
+  std::optional<TimePoint> since_;
+  std::optional<TimePoint> until_;
+};
+
+}  // namespace farm::telemetry

@@ -1,0 +1,58 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+
+namespace farm::telemetry {
+
+Tracer::Tracer(std::size_t track_capacity) : capacity_(track_capacity) {
+  FARM_CHECK(capacity_ > 0);
+}
+
+TrackId Tracer::track(std::string_view name) {
+  for (TrackId t = 0; t < tracks_.size(); ++t)
+    if (tracks_[t].name == name) return t;
+  Track tr;
+  tr.name = std::string(name);
+  tracks_.push_back(std::move(tr));
+  return static_cast<TrackId>(tracks_.size() - 1);
+}
+
+SpanId Tracer::begin(TrackId t, std::string_view name, TimePoint at) {
+  Track& tr = this->at(t);
+  Span s;
+  s.name = std::string(name);
+  s.begin = at;
+  s.depth = static_cast<std::uint32_t>(tr.open.size());
+  s.id = next_span_++;
+  tr.open.push_back(std::move(s));
+  return tr.open.back().id;
+}
+
+void Tracer::end(TrackId t, SpanId id, TimePoint at) {
+  if (id == kInvalidSpan) return;
+  Track& tr = this->at(t);
+  auto it = std::find_if(tr.open.begin(), tr.open.end(),
+                         [id](const Span& s) { return s.id == id; });
+  if (it == tr.open.end()) return;  // already ended / never begun: no-op
+  Span s = std::move(*it);
+  tr.open.erase(it);
+  s.end = at;
+  ++tr.completed;
+  if (tr.done.size() < capacity_) {
+    tr.done.push_back(std::move(s));
+  } else {
+    tr.done[tr.head] = std::move(s);
+    tr.head = (tr.head + 1) % capacity_;
+  }
+}
+
+std::vector<Span> Tracer::spans(TrackId t) const {
+  const Track& tr = at(t);
+  std::vector<Span> out;
+  out.reserve(tr.done.size());
+  for (std::size_t i = 0; i < tr.done.size(); ++i)
+    out.push_back(tr.done[(tr.head + i) % tr.done.size()]);
+  return out;
+}
+
+}  // namespace farm::telemetry

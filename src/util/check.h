@@ -10,10 +10,27 @@
 
 namespace farm::util {
 
+// Last-gasp hook fired once before abort — the telemetry flight recorder
+// uses it to dump the event tail of the failing run (see telemetry/hub.h).
+using CheckFailureHook = void (*)();
+
+inline CheckFailureHook& check_failure_hook() {
+  static CheckFailureHook hook = nullptr;
+  return hook;
+}
+
+inline void set_check_failure_hook(CheckFailureHook hook) {
+  check_failure_hook() = hook;
+}
+
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
                                       int line, const char* msg) {
   std::fprintf(stderr, "FARM_CHECK failed: %s at %s:%d%s%s\n", expr, file,
                line, msg[0] ? " — " : "", msg);
+  if (CheckFailureHook hook = check_failure_hook()) {
+    check_failure_hook() = nullptr;  // a CHECK inside the hook must not loop
+    hook();
+  }
   std::abort();
 }
 

@@ -5,11 +5,16 @@
 // seed) replays to identical metrics.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 #include "farm/chaos.h"
 #include "farm/harvesters.h"
 #include "farm/system.h"
 #include "net/traffic.h"
 #include "sim/fault.h"
+#include "telemetry/hub.h"
 
 namespace farm::core {
 namespace {
@@ -280,6 +285,52 @@ TEST(ChaosTest, RandomPlanChaosRunsToCompletionDeterministically) {
   EXPECT_EQ(std::get<1>(a), 20u);
   // A different seed yields a genuinely different scenario.
   EXPECT_NE(run(99), a);
+}
+
+TEST(ChaosTest, FaultMarksPrecedeSymptomsAndFlightRecorderDumps) {
+  if (!telemetry::Hub::compiled_in())
+    GTEST_SKIP() << "built with FARM_TELEMETRY=OFF";
+  FarmSystem farm(FarmSystemConfig{
+      .topology = {.spines = 1, .leaves = 2, .hosts_per_leaf = 2}});
+  CollectingHarvester harv(farm.engine(), "chaos");
+  farm.bus().attach_harvester("chaos", harv);
+  ASSERT_FALSE(farm.install_task({"chaos", kReporterAll, {"Reporter"}, {}})
+                   .empty());
+  net::NodeId leaf0 = farm.fabric().leaf_switches[0];
+
+  sim::FaultPlan plan;
+  plan.poll_loss(at(500), Duration::sec(2), leaf0, 0.9);
+  ChaosController chaos(farm, std::move(plan));
+  std::string dump = ::testing::TempDir() + "granary_chaos_flight.json";
+  chaos.record_flight_to(dump);
+  chaos.arm();
+  farm.run_for(Duration::ms(3000));
+
+  telemetry::Hub& tel = farm.telemetry();
+  // The injected fault shows up as a chaos.<kind> mark carrying its target.
+  auto start = tel.query().label("chaos.poll-loss-start").first();
+  ASSERT_TRUE(start.has_value());
+  EXPECT_EQ(start->at, at(500));
+  EXPECT_DOUBLE_EQ(start->value, static_cast<double>(leaf0));
+
+  // Fault → symptom ordering: no poll timed out before the loss window
+  // opened, and the first timeout follows the mark in virtual time.
+  std::string soil_name = farm.topology().node(leaf0).name;
+  auto first_timeout =
+      tel.query().label("soil." + soil_name + ".poll_timeouts").first();
+  ASSERT_TRUE(first_timeout.has_value());
+  EXPECT_GT(first_timeout->at, start->at);
+
+  // Each applied fault rewrote the flight dump; the file on disk is the
+  // chrome trace for the *last* fault (the loss window closing).
+  EXPECT_EQ(tel.flight().dumps(), 2u);
+  std::ifstream in(dump);
+  ASSERT_TRUE(in.good());
+  std::stringstream body;
+  body << in.rdbuf();
+  EXPECT_NE(body.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(body.str().find("chaos.poll-loss-stop"), std::string::npos);
+  std::remove(dump.c_str());
 }
 
 }  // namespace

@@ -200,6 +200,27 @@ TEST(StatsTest, PercentileAfterMoreRecords) {
   EXPECT_DOUBLE_EQ(s.percentile(100), 1000);
 }
 
+TEST(StatsTest, PercentileEndpointsAreExactMinMax) {
+  Stats s;
+  for (double v : {7.5, -3.0, 42.0, 0.25}) s.record(v);
+  EXPECT_DOUBLE_EQ(s.percentile(0), -3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), s.min());
+  EXPECT_DOUBLE_EQ(s.percentile(100), s.max());
+}
+
+TEST(StatsTest, PercentileClampsOutOfRangeArguments) {
+  Stats s;
+  for (int i = 1; i <= 10; ++i) s.record(i);
+  EXPECT_DOUBLE_EQ(s.percentile(-5), 1);
+  EXPECT_DOUBLE_EQ(s.percentile(150), 10);
+  EXPECT_DOUBLE_EQ(s.percentile(1e18), 10);
+  // Empty stats stay safe regardless of the argument.
+  Stats empty;
+  EXPECT_DOUBLE_EQ(empty.percentile(-1), 0);
+  EXPECT_DOUBLE_EQ(empty.percentile(101), 0);
+}
+
 TEST(ByteMeterTest, Accumulates) {
   ByteMeter m;
   m.add(1000);
