@@ -8,6 +8,8 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_json.h"
+
 #include "farm/system.h"
 #include "runtime/soil.h"
 
@@ -51,10 +53,17 @@ int main() {
   std::printf("%6s %18s %14s\n", "seeds", "shared buffer(us)", "gRPC(us)");
   double shared_first = 0, shared_last = 0;
   double rpc_first = 0, rpc_last = 0;
+  bench::BenchJson out("fig10_ipc_latency");
   for (int seeds : {1, 25, 50, 75, 100, 125, 150}) {
     double shared = mean_delivery_us(seeds, true);
     double rpc = mean_delivery_us(seeds, false);
     std::printf("%6d %18.1f %14.1f\n", seeds, shared, rpc);
+    out.record("delivery_latency", shared, "us",
+               {bench::param("seeds", seeds),
+                bench::param("transport", "shared-buffer")});
+    out.record("delivery_latency", rpc, "us",
+               {bench::param("seeds", seeds),
+                bench::param("transport", "grpc")});
     if (shared_first == 0) {
       shared_first = shared;
       rpc_first = rpc;

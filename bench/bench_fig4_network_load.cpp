@@ -14,6 +14,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_json.h"
+
 #include "baselines/sflow.h"
 #include "baselines/sonata.h"
 #include "farm/harvesters.h"
@@ -131,6 +133,7 @@ int main() {
               kSliceSeconds);
   std::printf("%8s %14s %14s %14s %14s\n", "ports", "FARM", "sFlow(1ms)",
               "sFlow(10ms)", "Sonata(75%)");
+  bench::BenchJson out("fig4_network_load");
   bool shape_ok = true;
   double prev_farm = 0, prev_sflow1 = 0;
   for (int leaves : {4, 8, 16, 32}) {
@@ -141,6 +144,13 @@ int main() {
     double sonata = sonata_bytes_per_minute(leaves);
     std::printf("%8d %14.3g %14.3g %14.3g %14.3g\n", ports, farm_b, sflow1,
                 sflow10, sonata);
+    for (auto [system, v] :
+         {std::pair<const char*, double>{"FARM", farm_b},
+          {"sFlow(1ms)", sflow1},
+          {"sFlow(10ms)", sflow10},
+          {"Sonata(75%)", sonata}})
+      out.record("bytes_per_minute", v, "B/min",
+                 {bench::param("ports", ports), bench::param("system", system)});
     // Shape checks: FARM orders of magnitude below sFlow(1ms); sFlow grows
     // linearly while FARM stays nearly flat.
     shape_ok &= farm_b * 100 < sflow1;

@@ -10,6 +10,8 @@
 #include <memory>
 #include <string>
 
+#include "bench_json.h"
+
 #include "baselines/sflow.h"
 #include "farm/harvesters.h"
 #include "farm/system.h"
@@ -94,11 +96,16 @@ int main() {
   std::printf("Fig. 5 — switch CPU load for flow monitoring at 10 ms "
               "accuracy\n\n");
   std::printf("%8s %12s %12s\n", "flows", "FARM(%)", "sFlow(%)");
+  bench::BenchJson out("fig5_cpu_load");
   double first_farm = 0, last_farm = 0, sflow_any = 0;
   for (int flows : {10, 50, 100, 200, 400}) {
     double farm_pct = farm_cpu_percent(flows);
     double sflow_pct = sflow_cpu_percent(flows);
     std::printf("%8d %12.2f %12.2f\n", flows, farm_pct, sflow_pct);
+    out.record("cpu_load", farm_pct, "%",
+               {bench::param("flows", flows), bench::param("system", "FARM")});
+    out.record("cpu_load", sflow_pct, "%",
+               {bench::param("flows", flows), bench::param("system", "sFlow")});
     if (first_farm == 0) first_farm = farm_pct;
     last_farm = farm_pct;
     sflow_any = sflow_pct;

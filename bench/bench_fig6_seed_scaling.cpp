@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
+
 #include "farm/harvesters.h"
 #include "farm/system.h"
 #include "runtime/soil.h"
@@ -69,7 +71,8 @@ struct Panel {
   std::vector<int> seed_counts;
 };
 
-void run_panel(const Panel& panel, Duration matmul_cost) {
+void run_panel(const Panel& panel, Duration matmul_cost,
+               bench::BenchJson& out) {
   std::printf("%s\n", panel.title);
   std::printf("  %8s %12s %14s\n", "seeds", "CPU load(%)", "poll acc.(%)");
   for (int logical : panel.seed_counts) {
@@ -88,9 +91,14 @@ void run_panel(const Panel& panel, Duration matmul_cost) {
     auto start = engine.now();
     auto busy0 = sw.cpu().busy_time();
     engine.run_for(Duration::ms(1500));
-    std::printf("  %8d %12.1f %14.1f\n", logical,
-                sw.cpu().load_percent(start, busy0),
-                100 * soil.polling_accuracy());
+    const double load = sw.cpu().load_percent(start, busy0);
+    const double acc = 100 * soil.polling_accuracy();
+    std::printf("  %8d %12.1f %14.1f\n", logical, load, acc);
+    std::vector<bench::BenchParam> params = {
+        bench::param("panel", std::string_view(panel.title, 3)),
+        bench::param("seeds", logical)};
+    out.record("cpu_load", load, "%", params);
+    out.record("poll_accuracy", acc, "%", params);
   }
 }
 
@@ -102,19 +110,20 @@ int main() {
               "ML step = measured %0.3f ms matmul)\n\n",
               matmul.millis());
 
+  bench::BenchJson out("fig6_seed_scaling");
   run_panel({"(a) HH task, 1 ms accuracy", false, 0.001, 1, 1,
              {10, 20, 40, 60, 80, 100}},
-            matmul);
+            matmul, out);
   run_panel({"(b) HH task, 10 ms accuracy", false, 0.01, 1, 1,
              {10, 20, 40, 60, 80, 100}},
-            matmul);
+            matmul, out);
   run_panel({"(c) ML task, 1 ms accuracy, 1 iteration", true, 0.001, 1, 1,
              {10, 20, 30, 40, 50}},
-            matmul);
+            matmul, out);
   run_panel({"(d) ML task, 10 ms accuracy, 10 iterations (10:1 partition)",
              true, 0.01, 10, 10,
              {50, 100, 150, 200, 250}},
-            matmul);
+            matmul, out);
 
   std::printf("\nexpected shapes: (a/b) light load, easily >100 seeds at "
               "10 ms; (c) saturation (≈400%% on 4 cores) with accuracy "

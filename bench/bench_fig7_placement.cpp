@@ -10,6 +10,10 @@
 // while FARM's heuristic keeps both utility and runtime — the claim under
 // test.
 #include <cstdio>
+#include <tuple>
+#include <vector>
+
+#include "bench_json.h"
 
 #include "placement/generator.h"
 #include "placement/heuristic.h"
@@ -23,6 +27,7 @@ int main() {
   std::printf("%7s %9s | %12s %12s %12s | %9s %9s %9s\n", "seeds", "switches",
               "MU(FARM)", "MU(MILP-1s)", "MU(MILP-15s)", "t(FARM)",
               "t(1s)", "t(15s)");
+  farm::bench::BenchJson out("fig7_placement");
 
   struct Size {
     int switches;
@@ -69,6 +74,17 @@ int main() {
     std::printf("%7d %9d | %12.0f %12.0f %12.0f | %8.2fs %8.2fs %8.2fs\n",
                 total_seeds, size.switches, mu_farm, mu_1s, mu_long, t_farm,
                 t_1s, t_long);
+    for (auto [solver, mu, t] :
+         {std::tuple<const char*, double, double>{"FARM", mu_farm, t_farm},
+          {"MILP-1s", mu_1s, t_1s},
+          {"MILP-15s", mu_long, t_long}}) {
+      std::vector<farm::bench::BenchParam> params = {
+          farm::bench::param("seeds", total_seeds),
+          farm::bench::param("switches", size.switches),
+          farm::bench::param("solver", solver)};
+      out.record("monitoring_utility", mu, "MU", params);
+      out.record("solve_time", t, "s", params);
+    }
     // Shape: FARM's utility ≥ the 1 s solver run (ties allowed at sizes the
     // exact solver still finishes), with runtime in the ~1 s class.
     shape_ok &= mu_farm >= 0.99 * mu_1s;

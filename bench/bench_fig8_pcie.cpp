@@ -10,6 +10,8 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_json.h"
+
 #include "farm/system.h"
 #include "runtime/soil.h"
 #include "telemetry/hub.h"
@@ -84,6 +86,7 @@ int main() {
                                sim::cost::kPciePollBandwidthBps));
   std::printf("%6s | %14s %12s | %14s %12s\n", "seeds", "util%(no agg)",
               "backlog(ms)", "util%(agg)", "backlog(ms)");
+  bench::BenchJson out("fig8_pcie");
   bool congested_without = false, fine_with = true;
   for (int seeds : {1, 2, 4, 8, 16, 32}) {
     Row no_agg = run(seeds, false);
@@ -91,6 +94,15 @@ int main() {
     std::printf("%6d | %14.1f %12.1f | %14.1f %12.1f\n", seeds,
                 100 * no_agg.pcie_util, no_agg.backlog_ms,
                 100 * agg.pcie_util, agg.backlog_ms);
+    for (auto [mode, row] : {std::pair<const char*, const Row&>{"none", no_agg},
+                             {"aggregated", agg}}) {
+      std::vector<bench::BenchParam> params = {
+          bench::param("seeds", seeds), bench::param("aggregation", mode)};
+      out.record("pcie_utilization", 100 * row.pcie_util, "%", params);
+      out.record("pcie_backlog", row.backlog_ms, "ms", params);
+      out.record("poll_requests", static_cast<double>(row.requests), "count",
+                 params);
+    }
     if (seeds >= 8 && no_agg.backlog_ms > 100) congested_without = true;
     if (agg.backlog_ms > 100) fine_with = false;
   }

@@ -9,6 +9,8 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_json.h"
+
 #include "farm/system.h"
 #include "runtime/soil.h"
 
@@ -55,6 +57,7 @@ int main() {
               "(shared flow subject @10 ms — the bus never binds, isolating the soil CPU)\n\n");
   std::printf("%6s | %12s %12s | %12s %12s\n", "seeds", "thr+agg(%)",
               "thr-noagg(%)", "proc+agg(%)", "proc-noagg(%)");
+  bench::BenchJson out("fig9_aggregation");
   bool threads_flat = true, processes_pay = false;
   for (int seeds : {1, 10, 25, 50, 100, 150}) {
     double ta = soil_cpu_percent(seeds, true, true);
@@ -63,6 +66,13 @@ int main() {
     double pn = soil_cpu_percent(seeds, false, false);
     std::printf("%6d | %12.2f %12.2f | %12.2f %12.2f\n", seeds, ta, tn, pa,
                 pn);
+    for (auto [config, v] :
+         {std::pair<const char*, double>{"threads+agg", ta},
+          {"threads-noagg", tn},
+          {"process+agg", pa},
+          {"process-noagg", pn}})
+      out.record("soil_cpu_load", v, "%",
+                 {bench::param("seeds", seeds), bench::param("config", config)});
     // Threads: aggregation ~free (within 25% of no-agg).
     if (seeds >= 50 && ta > tn * 1.25 + 1) threads_flat = false;
     // Processes: aggregation visibly costs CPU at scale.

@@ -1,0 +1,114 @@
+// Machine-readable bench results: BENCH_<name>.json next to the stdout
+// tables.
+//
+// Every figure/table bench prints a human-oriented table and exits with a
+// shape-check status; trend tracking across commits needs the numbers in a
+// stable schema instead of scraping printf columns. A BenchJson collects
+// (metric, value, unit, params) records during the run and writes
+//
+//   {"bench":"<name>","results":[
+//     {"metric":"bytes_per_minute","value":1.2e4,"unit":"B/min",
+//      "params":{"ports":384,"system":"FARM"}}, ...]}
+//
+// on destruction (or explicit write()). Stdout stays byte-identical — the
+// JSON is a side artifact in the working directory.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace farm::bench {
+
+struct BenchParam {
+  std::string key;
+  std::string value;  // pre-rendered JSON value (quoted or numeric)
+};
+
+inline std::string bench_json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string bench_json_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // JSON has no inf/nan literals; null keeps the document valid.
+  std::string s = buf;
+  if (s.find("inf") != std::string::npos || s.find("nan") != std::string::npos)
+    return "null";
+  return s;
+}
+
+inline BenchParam param(std::string_view key, double value) {
+  return {std::string(key), bench_json_num(value)};
+}
+inline BenchParam param(std::string_view key, int value) {
+  return {std::string(key), std::to_string(value)};
+}
+inline BenchParam param(std::string_view key, std::string_view value) {
+  return {std::string(key), "\"" + bench_json_escape(value) + "\""};
+}
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string_view name) : name_(name) {}
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+  ~BenchJson() { write(); }
+
+  void record(std::string_view metric, double value, std::string_view unit,
+              std::vector<BenchParam> params = {}) {
+    std::string row = "{\"metric\":\"" + bench_json_escape(metric) +
+                      "\",\"value\":" + bench_json_num(value) +
+                      ",\"unit\":\"" + bench_json_escape(unit) + "\"";
+    row += ",\"params\":{";
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (i) row += ",";
+      row += "\"" + bench_json_escape(params[i].key) +
+             "\":" + params[i].value;
+    }
+    row += "}}";
+    rows_.push_back(std::move(row));
+  }
+
+  // Writes BENCH_<name>.json in the working directory; idempotent (later
+  // records trigger a rewrite from the destructor). False on I/O failure.
+  bool write() {
+    std::ofstream os("BENCH_" + name_ + ".json");
+    if (!os) return false;
+    os << "{\"bench\":\"" << bench_json_escape(name_) << "\",\"results\":[";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (i) os << ",";
+      os << "\n" << rows_[i];
+    }
+    os << "]}\n";
+    return os.good();
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> rows_;
+};
+
+}  // namespace farm::bench

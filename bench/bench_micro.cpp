@@ -6,9 +6,13 @@
 #include "almanac/interp.h"
 #include "almanac/parser.h"
 #include "asic/tcam.h"
+#include "bench_json.h"
+#include "farm/scarecrow.h"
 #include "farm/usecases.h"
 #include "lp/simplex.h"
 #include "sim/engine.h"
+#include "telemetry/alert.h"
+#include "telemetry/hub.h"
 
 namespace {
 
@@ -131,6 +135,65 @@ void BM_SimplexRedistributionLp(benchmark::State& state) {
 }
 BENCHMARK(BM_SimplexRedistributionLp);
 
+void BM_AlertEvaluate128Metrics(benchmark::State& state) {
+  // One Scarecrow evaluator tick over a 128-metric registry with the six
+  // default SLO rules installed. This is the entire per-period cost the
+  // alerting layer adds to a run — it reads live aggregates only, never the
+  // event store. With -DFARM_TELEMETRY=OFF the registry stays empty and the
+  // tick is a no-op.
+  sim::Engine engine;
+  telemetry::Hub& tel = engine.telemetry();
+  std::vector<telemetry::MetricId> gauges;
+  for (int i = 0; i < 128; ++i) {
+    gauges.push_back(tel.gauge("soil.sw" + std::to_string(i) +
+                               ".poll_deliveries"));
+  }
+  telemetry::AlertManager mgr(tel);
+  for (const auto& spec : core::Scarecrow::default_rules()) {
+    mgr.add_rule(spec);
+  }
+  std::uint64_t tick = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < gauges.size(); i += 7)
+      tel.level(gauges[i], static_cast<double>(tick));
+    engine.schedule_after(sim::Duration::ms(100), [] {});
+    engine.run();
+    ++tick;
+    mgr.evaluate(engine.now());
+    benchmark::DoNotOptimize(mgr.firing_count());
+  }
+}
+BENCHMARK(BM_AlertEvaluate128Metrics);
+
+// Console output stays byte-identical to BENCHMARK_MAIN(); each reported run
+// is additionally recorded into BENCH_micro.json for the bench trajectory.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(farm::bench::BenchJson& out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      out_.record(run.benchmark_name(), run.GetAdjustedRealTime(),
+                  benchmark::GetTimeUnitString(run.time_unit),
+                  {farm::bench::param("iterations",
+                                      static_cast<double>(run.iterations))});
+    }
+  }
+
+ private:
+  farm::bench::BenchJson& out_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  farm::bench::BenchJson out("micro");
+  JsonTeeReporter reporter(out);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -16,6 +16,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_json.h"
+
 #include "baselines/sflow.h"
 #include "baselines/sonata.h"
 #include "farm/harvesters.h"
@@ -187,6 +189,13 @@ int main() {
   double farm_ms = farm_detection_ms();
   double sflow_ms = sflow_detection_ms(Duration::ms(100));
   double sonata_ms = sonata_detection_ms();
+  bench::BenchJson out("tab4_responsiveness");
+  out.record("hh_detection_time", farm_ms, "ms",
+             {bench::param("system", "FARM")});
+  out.record("hh_detection_time", sflow_ms, "ms",
+             {bench::param("system", "sFlow")});
+  out.record("hh_detection_time", sonata_ms, "ms",
+             {bench::param("system", "Sonata")});
   std::printf("%-10s %-6s %12s %14s\n", "System", "Type", "measured(ms)",
               "paper(ms)");
   std::printf("%-10s %-6s %12.1f %14s\n", "FARM", "G", farm_ms, "1");

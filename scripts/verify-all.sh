@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# verify-all: configure + build + test the three supported configurations
+# in sequence — default (RelWithDebInfo), ASan+UBSan, and telemetry
+# compiled out. Workflow presets cannot mix configure presets, so each
+# configuration is its own workflow and this script is the chain.
+#
+# Usage: scripts/verify-all.sh [-jN]
+# Any extra arguments are forwarded to every `cmake --workflow` call.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workflows=(verify-default verify-asan verify-telemetry-off)
+failed=()
+
+for wf in "${workflows[@]}"; do
+  echo "==== workflow: ${wf} ===="
+  if ! cmake --workflow --preset "${wf}" "$@"; then
+    failed+=("${wf}")
+  fi
+done
+
+if ((${#failed[@]})); then
+  echo "verify-all: FAILED: ${failed[*]}" >&2
+  exit 1
+fi
+echo "verify-all: all ${#workflows[@]} workflows passed"

@@ -26,6 +26,11 @@ Seeder::Seeder(sim::Engine& engine, const net::SdnController& controller,
   m_deployments_ = tel_->counter("seeder.deployments");
   m_migrations_ = tel_->counter("seeder.migrations");
   m_reoptimizes_ = tel_->counter("seeder.reoptimizes");
+  m_miss_ = tel_->counter("seeder.heartbeat_miss");
+  m_transient_ = tel_->counter("seeder.transients");
+  m_downtime_gauge_ = tel_->gauge("seeder.last_downtime_ms");
+  m_downtime_hist_ = tel_->histogram("seeder.reseed_downtime_ms");
+  m_transfer_hist_ = tel_->histogram("seeder.migration_transfer_ms");
   for (Soil* soil : soils_) {
     bus_.attach_soil(*soil);
     soil->set_depletion_callback([this](Soil&) {
@@ -50,7 +55,21 @@ void Seeder::heartbeat_tick() {
   const sim::TimePoint now = engine_.now();
   for (Soil* soil : soils_) {
     NodeHealth& h = health_[soil->node()];
-    if (!h.failed && now - h.last_seen > limit) on_node_failed(*soil);
+    if (h.failed) continue;
+    // Whole silent periods beyond the expected one: a switch that answered
+    // the previous probe sits at exactly one period since last_seen, so it
+    // scores 0; each further silent period bumps the streak by one until
+    // the miss limit declares it dead.
+    const int streak =
+        std::max<int>(0, static_cast<int>(
+                             (now - h.last_seen).count_ns() /
+                             options_.heartbeat_period.count_ns()) -
+                             1);
+    if (streak > h.miss_streak) {
+      h.miss_streak = streak;
+      tel_->mark(m_miss_, static_cast<double>(streak));
+    }
+    if (now - h.last_seen > limit) on_node_failed(*soil);
   }
   // Probe everyone — failed switches included, to notice reboots.
   for (Soil* soil : soils_) {
@@ -60,8 +79,22 @@ void Seeder::heartbeat_tick() {
       if (!alive) return;
       auto it = health_.find(node);
       if (it == health_.end()) return;
-      it->second.last_seen = engine_.now();
-      if (it->second.failed) on_node_recovered(node);
+      NodeHealth& h = it->second;
+      // A positive streak on a live answer is a transient: the switch
+      // died (or went unreachable) and came back between probes, inside
+      // the dead-switch window. Before the streak existed these episodes
+      // left no trace at all; now they are counted and marked with the
+      // streak length so flight dumps show the near-miss.
+      if (!h.failed && h.miss_streak > 0) {
+        ++transients_;
+        // Aggregate counts the transients; the mark row carries how deep
+        // into the dead-switch window the streak got.
+        tel_->count(m_transient_);
+        tel_->mark(m_transient_, static_cast<double>(h.miss_streak));
+      }
+      h.miss_streak = 0;
+      h.last_seen = engine_.now();
+      if (h.failed) on_node_recovered(node);
     });
   }
 }
@@ -80,6 +113,15 @@ void Seeder::on_node_failed(Soil& soil) {
   reoptimize();
   reseed_count_.add(deployments_ - before);
   tel_->add(m_reseeds_, static_cast<double>(deployments_ - before));
+  if (deployments_ > before) {
+    // Monitoring downtime for the displaced seeds: dark from the last
+    // heartbeat answer until the replacements deployed (now, in virtual
+    // time — deploys are immediate; the PCIe/bus costs are simulated by
+    // the soils). Scarecrow's reseed-downtime SLO watches the gauge.
+    const double down_ms = (engine_.now() - h.last_seen).millis();
+    tel_->level(m_downtime_gauge_, down_ms);
+    tel_->observe(m_downtime_hist_, down_ms);
+  }
 }
 
 void Seeder::on_node_recovered(net::NodeId node) {
@@ -104,6 +146,20 @@ std::vector<net::NodeId> Seeder::failed_nodes() const {
 bool Seeder::node_failed(net::NodeId node) const {
   auto it = health_.find(node);
   return it != health_.end() && it->second.failed;
+}
+
+double Seeder::health_grade(net::NodeId node) const {
+  auto it = health_.find(node);
+  if (it == health_.end()) return 1;
+  if (it->second.failed) return 0;
+  const int limit = std::max(1, options_.heartbeat_miss_limit);
+  return 1.0 - static_cast<double>(std::min(it->second.miss_streak, limit)) /
+                   static_cast<double>(limit);
+}
+
+int Seeder::miss_streak(net::NodeId node) const {
+  auto it = health_.find(node);
+  return it == health_.end() ? 0 : it->second.miss_streak;
 }
 
 Soil* Seeder::soil_at(net::NodeId node) const {
@@ -200,6 +256,10 @@ placement::PlacementProblem Seeder::build_problem() const {
   for (Soil* soil : soils_) {
     // Dead switches are not placement candidates until they come back.
     if (node_failed(soil->node())) continue;
+    // Graded health gate: with min_health_grade > 0 a switch mid
+    // miss-streak (suspected but not yet declared dead) is also excluded,
+    // so re-placement stops choosing flapping switches.
+    if (health_grade(soil->node()) < options_.min_health_grade) continue;
     placement::SwitchModel sw;
     sw.node = soil->node();
     sw.capacity = soil->total_capacity();
@@ -286,6 +346,7 @@ void Seeder::realize(const placement::PlacementResult& result) {
               sim::cost::kControlLinkBandwidthBps);
       ++migrations_;
       tel_->add(m_migrations_);
+      tel_->observe(m_transfer_hist_, transfer.millis());
       SeedId id = ps.id;
       auto image = ps.image;
       auto externals = ps.externals;

@@ -50,6 +50,12 @@ struct SeederOptions {
   sim::Duration heartbeat_period = sim::Duration::ms(250);
   // A switch is declared dead after this many silent periods.
   int heartbeat_miss_limit = 3;
+  // Minimum health_grade() a switch must hold to stay a placement
+  // candidate. 0 (default) keeps the historical binary behavior: only
+  // switches already declared dead are excluded. Raising it makes the
+  // placement shy away from switches with an active heartbeat-miss streak
+  // before they cross the dead-switch verdict.
+  double min_health_grade = 0;
 };
 
 class Seeder {
@@ -78,9 +84,22 @@ class Seeder {
   // Switches currently considered dead (heartbeat timeout, not yet back).
   std::vector<net::NodeId> failed_nodes() const;
   bool node_failed(net::NodeId node) const;
+  // Graded liveness in [0, 1]: 1 = heartbeats current, 0 = declared dead,
+  // in between = an active miss streak (1 - streak / miss_limit). Scarecrow
+  // folds this into the fabric health tree; min_health_grade gates
+  // placement candidates on it.
+  double health_grade(net::NodeId node) const;
+  // Consecutive heartbeat periods the switch has been silent (0 = current).
+  int miss_streak(net::NodeId node) const;
   // Time from last successful heartbeat to the dead-switch verdict, one
   // sample per detected failure.
   const sim::Stats& detection_latency() const { return detection_latency_; }
+  // Switches that went silent for >= 1 heartbeat period but answered again
+  // before the dead-switch verdict. These used to vanish from the
+  // detection accounting entirely; now each one is counted and marked
+  // ("seeder.transient" event carrying the streak length) so chaos flight
+  // dumps show the near-miss.
+  std::uint64_t transients() const { return transients_; }
   // Deployments performed to replace seeds displaced by switch failures.
   std::uint64_t reseed_count() const { return reseed_count_.value; }
 
@@ -101,6 +120,8 @@ class Seeder {
   struct NodeHealth {
     sim::TimePoint last_seen;
     bool failed = false;
+    // Consecutive heartbeat periods with no response, reset on contact.
+    int miss_streak = 0;
   };
 
   // Elaborates a task spec into planned seeds (steps 1-3).
@@ -129,6 +150,7 @@ class Seeder {
   std::unique_ptr<sim::PeriodicTask> heartbeat_task_;
   sim::Stats detection_latency_;
   sim::Counter reseed_count_;
+  std::uint64_t transients_ = 0;
 
   // Granary: seeder.* metrics and placement-solve spans on the "seeder"
   // track; failure detections are marks so chaos traces show the verdict.
@@ -141,6 +163,11 @@ class Seeder {
   telemetry::MetricId m_deployments_ = telemetry::kInvalidMetric;
   telemetry::MetricId m_migrations_ = telemetry::kInvalidMetric;
   telemetry::MetricId m_reoptimizes_ = telemetry::kInvalidMetric;
+  telemetry::MetricId m_miss_ = telemetry::kInvalidMetric;
+  telemetry::MetricId m_transient_ = telemetry::kInvalidMetric;
+  telemetry::MetricId m_downtime_gauge_ = telemetry::kInvalidMetric;
+  telemetry::MetricId m_downtime_hist_ = telemetry::kInvalidMetric;
+  telemetry::MetricId m_transfer_hist_ = telemetry::kInvalidMetric;
 };
 
 }  // namespace farm::core

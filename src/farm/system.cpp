@@ -23,6 +23,17 @@ FarmSystem::FarmSystem(FarmSystemConfig config)
   }
   seeder_ = std::make_unique<Seeder>(engine_, controller_, bus_, soil_ptrs,
                                      config_.seeder);
+  scarecrow_ = std::make_unique<Scarecrow>(*this, config_.scarecrow);
+}
+
+void FarmSystem::write_farm_report(std::ostream& os) {
+  scarecrow_->evaluate_now();
+  scarecrow_->write_report(os);
+}
+
+void FarmSystem::write_farm_report_json(std::ostream& os) {
+  scarecrow_->evaluate_now();
+  scarecrow_->write_report_json(os);
 }
 
 Soil& FarmSystem::soil(net::NodeId node) {

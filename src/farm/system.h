@@ -13,8 +13,10 @@
 #pragma once
 
 #include <memory>
+#include <ostream>
 
 #include "asic/driver.h"
+#include "farm/scarecrow.h"
 #include "farm/seeder.h"
 
 namespace farm::core {
@@ -24,6 +26,8 @@ struct FarmSystemConfig {
   asic::SwitchConfig switch_config;
   runtime::SoilConfig soil_config;
   SeederOptions seeder;
+  // Scarecrow SLO alerting + health scoring over this system's telemetry.
+  ScarecrowConfig scarecrow;
   sim::Duration traffic_tick = sim::Duration::ms(1);
   // Granary runtime switch: false builds the system with telemetry muted
   // (registrations still resolve; mutations short-circuit). The compile-time
@@ -46,6 +50,13 @@ class FarmSystem {
   const net::SdnController& controller() const { return controller_; }
   MessageBus& bus() { return bus_; }
   Seeder& seeder() { return *seeder_; }
+  Scarecrow& scarecrow() { return *scarecrow_; }
+  const Scarecrow& scarecrow() const { return *scarecrow_; }
+
+  // End-of-run "farm report": telemetry totals, alert table, health tree.
+  // Runs one final alert evaluation first so the snapshot is current.
+  void write_farm_report(std::ostream& os);
+  void write_farm_report_json(std::ostream& os);
 
   Soil& soil(net::NodeId node);
   asic::SwitchChassis& chassis(net::NodeId node);
@@ -75,6 +86,7 @@ class FarmSystem {
   std::vector<std::unique_ptr<Soil>> soils_;
   MessageBus bus_;
   std::unique_ptr<Seeder> seeder_;
+  std::unique_ptr<Scarecrow> scarecrow_;
   std::unique_ptr<asic::TrafficDriver> driver_;
 };
 

@@ -12,6 +12,7 @@ MessageBus::MessageBus(sim::Engine& engine) : engine_(engine) {
   m_up_msgs_ = tel_->counter("bus.up.msgs");
   m_down_bytes_ = tel_->counter("bus.down.bytes");
   m_down_msgs_ = tel_->counter("bus.down.msgs");
+  m_up_lag_ = tel_->gauge("bus.up.lag_ms");
 }
 
 void MessageBus::meter_up(std::size_t bytes) {
@@ -55,6 +56,7 @@ void MessageBus::to_harvester(const SeedId& from, net::NodeId from_switch,
   Value payload = raw_payload.deep_copy();  // wire copy: no sender aliasing
   std::size_t bytes = sim::cost::kFarmReportBytes + value_wire_bytes(payload);
   meter_up(bytes);
+  tel_->level(m_up_lag_, control_delay(bytes).millis());
   auto it = harvesters_.find(from.task);
   if (it == harvesters_.end()) {
     FARM_LOG(kDebug) << "no harvester for task " << from.task;

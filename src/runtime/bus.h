@@ -81,6 +81,10 @@ class MessageBus : public SoilNetwork {
   telemetry::MetricId m_up_msgs_ = telemetry::kInvalidMetric;
   telemetry::MetricId m_down_bytes_ = telemetry::kInvalidMetric;
   telemetry::MetricId m_down_msgs_ = telemetry::kInvalidMetric;
+  // Delivery lag (control-path latency + serialization) of the most recent
+  // upstream report, in ms — the bus-lag signal Scarecrow's SLO watches.
+  // Registry-only (level): updated per report without an event row.
+  telemetry::MetricId m_up_lag_ = telemetry::kInvalidMetric;
 };
 
 // Per-task centralized coordinator (§II-C a). Subclasses implement the

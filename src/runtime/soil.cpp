@@ -33,6 +33,17 @@ Soil::Soil(sim::Engine& engine, asic::SwitchChassis& chassis,
   m_poll_lateness_ms_ = tel_->histogram(
       p + ".poll_lateness_ms",
       telemetry::HistogramSpec::exponential(0.01, 4.0, 12));
+  m_tcam_mon_frac_ = tel_->gauge("tcam." + chassis_.name() + ".mon_frac");
+  publish_tcam_occupancy();
+}
+
+void Soil::publish_tcam_occupancy() {
+  const int cap = chassis_.tcam().capacity(asic::TcamRegion::kMonitoring);
+  if (cap <= 0) return;
+  tel_->level(m_tcam_mon_frac_,
+              static_cast<double>(chassis_.tcam().used(
+                  asic::TcamRegion::kMonitoring)) /
+                  static_cast<double>(cap));
 }
 
 Soil::~Soil() {
@@ -178,13 +189,16 @@ void Soil::seed_exec(Seed& seed, const std::string& command) {
 void Soil::add_monitor_rule(Seed& seed, asic::TcamRule rule) {
   rule.region = asic::TcamRegion::kMonitoring;
   if (rule.note.empty()) rule.note = seed.id().to_string();
-  if (!chassis_.tcam().add_rule(rule))
+  if (!chassis_.tcam().add_rule(rule)) {
     FARM_LOG(kWarn) << seed.id().to_string()
                     << ": monitoring TCAM region full, rule dropped";
+  }
+  publish_tcam_occupancy();
 }
 
 void Soil::remove_monitor_rule(const net::Filter& pattern) {
   chassis_.tcam().remove_rules(pattern, asic::TcamRegion::kMonitoring);
+  publish_tcam_occupancy();
 }
 
 std::optional<asic::TcamRule> Soil::get_monitor_rule(
@@ -249,6 +263,7 @@ void Soil::clear_registrations(Seed& seed, bool drop_orphaned_poll_rules) {
     if (rule && rule->note == "soil-poll")
       chassis_.tcam().remove_rules(what, asic::TcamRegion::kMonitoring);
   }
+  publish_tcam_occupancy();
 }
 
 void Soil::refresh_triggers(Seed& seed) {
@@ -546,6 +561,7 @@ std::vector<almanac::StatEntry> Soil::resolve_subject(
     auto id = chassis_.tcam().add_rule(r);
     if (!id) return out;  // monitoring region full
     rule = chassis_.tcam().find(*id);
+    publish_tcam_occupancy();
   }
   out.push_back({what.canonical_key(), -1, rule->id, rule->hit_packets,
                  rule->hit_bytes});

@@ -171,6 +171,9 @@ class Soil {
   sim::Duration comm_latency() const;
   sim::TaskId cpu_task_of(const Seed& seed) const;
   void check_depletion();
+  // Re-publishes the monitoring-region TCAM fill fraction gauge; called
+  // wherever monitoring rules are installed or removed.
+  void publish_tcam_occupancy();
 
   sim::Engine& engine_;
   asic::SwitchChassis& chassis_;
@@ -201,6 +204,10 @@ class Soil {
   telemetry::MetricId m_polls_abandoned_ = telemetry::kInvalidMetric;
   telemetry::MetricId m_poll_deliveries_ = telemetry::kInvalidMetric;
   telemetry::MetricId m_poll_lateness_ms_ = telemetry::kInvalidMetric;
+  // "tcam.<switch>.mon_frac": monitoring-partition occupancy in [0, 1],
+  // updated on rule install/remove so Scarecrow can alert before the
+  // region fills and rules start dropping.
+  telemetry::MetricId m_tcam_mon_frac_ = telemetry::kInvalidMetric;
   sim::Stats delivery_latency_;
   sim::Stats poll_lateness_;
   std::uint64_t poll_requests_ = 0;

@@ -1,0 +1,81 @@
+#include "telemetry/health.h"
+
+#include <algorithm>
+
+namespace farm::telemetry {
+
+HealthTree::Node& HealthTree::ensure(const std::string& name,
+                                     const std::string& parent) {
+  auto [it, inserted] = nodes_.try_emplace(name);
+  if (inserted && name != kRoot) attach(name, parent.empty() ? kRoot : parent);
+  return it->second;
+}
+
+void HealthTree::attach(const std::string& child, const std::string& parent) {
+  // Auto-create intermediate groups under the root so a leaf can name its
+  // pod before the pod was declared.
+  if (parent != kRoot && !nodes_.count(parent)) attach(parent, kRoot);
+  nodes_[child].parent = parent;
+  auto& siblings = nodes_[parent].children;
+  auto at = std::lower_bound(siblings.begin(), siblings.end(), child);
+  if (at == siblings.end() || *at != child) siblings.insert(at, child);
+}
+
+void HealthTree::add_group(const std::string& name, const std::string& parent) {
+  ensure(name, parent).leaf = false;
+}
+
+void HealthTree::set_leaf(const std::string& name, const std::string& parent,
+                          double score) {
+  Node& n = ensure(name, parent);
+  n.leaf = true;
+  n.leaf_score = std::clamp(score, 0.0, 1.0);
+}
+
+void HealthTree::set_leaf_score(const std::string& name, double score) {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end() || !it->second.leaf) {
+    set_leaf(name, "", score);
+    return;
+  }
+  it->second.leaf_score = std::clamp(score, 0.0, 1.0);
+}
+
+bool HealthTree::has_node(const std::string& name) const {
+  return nodes_.count(name) > 0;
+}
+
+double HealthTree::rollup(const Node& n) const {
+  if (n.leaf) return n.leaf_score;
+  if (n.children.empty()) return 1;
+  double sum = 0, worst = 1;
+  for (const std::string& child : n.children) {
+    double s = score(child);
+    sum += s;
+    worst = std::min(worst, s);
+  }
+  return 0.5 * sum / static_cast<double>(n.children.size()) + 0.5 * worst;
+}
+
+double HealthTree::score(const std::string& name) const {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) return 1;
+  return rollup(it->second);
+}
+
+void HealthTree::flatten_into(const std::string& name, int depth,
+                              std::vector<NodeView>& out) const {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end()) return;
+  out.push_back({name, rollup(it->second), depth, it->second.leaf});
+  for (const std::string& child : it->second.children)
+    flatten_into(child, depth + 1, out);
+}
+
+std::vector<HealthTree::NodeView> HealthTree::flatten() const {
+  std::vector<NodeView> out;
+  if (!nodes_.empty()) flatten_into(kRoot, 0, out);
+  return out;
+}
+
+}  // namespace farm::telemetry

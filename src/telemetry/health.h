@@ -1,0 +1,66 @@
+// Scarecrow hierarchical health scoring.
+//
+// A HealthTree holds graded health scores in [0, 1] at its leaves (one per
+// switch) grouped under interior nodes (pods) below a single root (the
+// fabric). Interior scores are rolled up as
+//
+//     score(group) = 0.5 · mean(children) + 0.5 · min(children)
+//
+// — the mean term makes wide degradation visible proportionally, while the
+// min term keeps a single dead switch from being averaged away in a large
+// pod (an operator cares that *something* is down, not only how much).
+// An empty group scores 1 (vacuously healthy).
+//
+// The tree is topology-agnostic: owners (farm::Scarecrow) decide the
+// grouping and push leaf scores; queries are recursive rollups over
+// name-sorted children, so rendering order and scores are deterministic.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace farm::telemetry {
+
+class HealthTree {
+ public:
+  static constexpr const char* kRoot = "fabric";
+
+  // Creates (or re-parents) an interior node under `parent` ("" = root).
+  void add_group(const std::string& name, const std::string& parent = "");
+  // Creates the leaf on first use; clamps score into [0, 1].
+  void set_leaf(const std::string& name, const std::string& parent,
+                double score);
+  void set_leaf_score(const std::string& name, double score);
+
+  bool has_node(const std::string& name) const;
+  // Leaf: its stored score; group/root: the rollup. Unknown names score 1.
+  double score(const std::string& name) const;
+  double fabric_score() const { return score(kRoot); }
+
+  struct NodeView {
+    std::string name;
+    double score = 1;
+    int depth = 0;  // 0 = root
+    bool leaf = false;
+  };
+  // Depth-first, children in name order — ready for indented rendering.
+  std::vector<NodeView> flatten() const;
+
+ private:
+  struct Node {
+    std::string parent;
+    std::vector<std::string> children;  // kept sorted
+    double leaf_score = 1;
+    bool leaf = false;
+  };
+  Node& ensure(const std::string& name, const std::string& parent);
+  void attach(const std::string& child, const std::string& parent);
+  double rollup(const Node& n) const;
+  void flatten_into(const std::string& name, int depth,
+                    std::vector<NodeView>& out) const;
+
+  std::map<std::string, Node> nodes_;  // root implicit until first insert
+};
+
+}  // namespace farm::telemetry

@@ -1,0 +1,33 @@
+// Scarecrow "farm report": end-of-run summary of a telemetry domain.
+//
+// Two renderings of the same inputs:
+//   write_farm_report      — human-readable text for the terminal (health
+//                            tree with bars, alert table, metric rollups);
+//   write_farm_report_json — machine-readable snapshot for post-mortems
+//                            (every registry aggregate, every alert
+//                            instance with its lifecycle timestamps, the
+//                            flattened health tree).
+// Alert and health inputs are optional so a bare Hub can still be
+// reported (e.g. from benches that never construct a FarmSystem).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "telemetry/alert.h"
+#include "telemetry/health.h"
+
+namespace farm::telemetry {
+
+struct ReportInputs {
+  const Hub* hub = nullptr;              // required
+  const AlertManager* alerts = nullptr;  // optional
+  const HealthTree* health = nullptr;    // optional
+  TimePoint now;                         // report timestamp (virtual)
+  std::string title = "farm report";
+};
+
+void write_farm_report(std::ostream& os, const ReportInputs& in);
+void write_farm_report_json(std::ostream& os, const ReportInputs& in);
+
+}  // namespace farm::telemetry

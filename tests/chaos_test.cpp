@@ -333,5 +333,140 @@ TEST(ChaosTest, FaultMarksPrecedeSymptomsAndFlightRecorderDumps) {
   std::remove(dump.c_str());
 }
 
+// --- Scarecrow acceptance: fault → alert latency -----------------------------
+
+TEST(ChaosTest, SwitchCrashFiresStalenessAlertAndResolvesAfterReboot) {
+  if (!telemetry::Hub::compiled_in())
+    GTEST_SKIP() << "built with FARM_TELEMETRY=OFF";
+  FarmSystem farm(FarmSystemConfig{
+      .topology = {.spines = 1, .leaves = 2, .hosts_per_leaf = 2}});
+  CollectingHarvester harv(farm.engine(), "chaos");
+  farm.bus().attach_harvester("chaos", harv);
+  ASSERT_FALSE(farm.install_task({"chaos", kReporterAll, {"Reporter"}, {}})
+                   .empty());
+  net::NodeId victim = farm.fabric().leaf_switches[0];
+  const std::string metric =
+      "soil." + farm.topology().node(victim).name + ".poll_deliveries";
+
+  sim::FaultPlan plan;
+  plan.crash_reboot(at(1000), Duration::sec(3), victim);  // back up at 4 s
+  ChaosController chaos(farm, std::move(plan));
+  chaos.arm();
+
+  farm.run_for(Duration::ms(2500));
+  telemetry::Hub& tel = farm.telemetry();
+  // The victim's soil went silent: its poll-staleness instance fired, and
+  // the transition rode the event store as a mark. Detection latency is
+  // bounded: the 1 s staleness threshold, plus one 100 ms evaluation
+  // period, plus the sub-threshold slack between the last delivery and the
+  // crash instant.
+  auto firing = tel.query().label("alert.poll-staleness.firing").first();
+  ASSERT_TRUE(firing.has_value());
+  EXPECT_GT(firing->at, at(1000 + 800));
+  EXPECT_LE(firing->at, at(1000 + 1500));
+  const telemetry::Alert* a =
+      farm.scarecrow().alerts().find("poll-staleness", metric);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->state, telemetry::AlertState::kFiring);
+  // A firing alert plus a dead switch drag the fabric health below 1.
+  EXPECT_LT(farm.scarecrow().fabric_score(), 1.0);
+  EXPECT_TRUE(farm.scarecrow().alerts().any_firing("soil.**"));
+
+  // Reboot at 4 s: recovery is detected, the place-all reporter returns to
+  // the victim, deliveries resume, and the alert resolves.
+  farm.run_for(Duration::ms(5500));  // now at 8 s
+  a = farm.scarecrow().alerts().find("poll-staleness", metric);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->state, telemetry::AlertState::kResolved);
+  auto resolved = tel.query().label("alert.poll-staleness.resolved").first();
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_GT(resolved->at, at(4000));
+  EXPECT_LE(resolved->at, at(5000));  // ping + redeploy + poll + one eval
+  EXPECT_EQ(farm.scarecrow().alerts().firing_count(), 0u);
+  EXPECT_DOUBLE_EQ(farm.scarecrow().fabric_score(), 1.0);
+}
+
+TEST(ChaosTest, PollLossBurstFiresTimeoutRateAlertAndResolves) {
+  if (!telemetry::Hub::compiled_in())
+    GTEST_SKIP() << "built with FARM_TELEMETRY=OFF";
+  FarmSystem farm(FarmSystemConfig{
+      .topology = {.spines = 1, .leaves = 2, .hosts_per_leaf = 2}});
+  CollectingHarvester harv(farm.engine(), "chaos");
+  farm.bus().attach_harvester("chaos", harv);
+  ASSERT_FALSE(farm.install_task({"chaos", kReporterAll, {"Reporter"}, {}})
+                   .empty());
+  net::NodeId leaf0 = farm.fabric().leaf_switches[0];
+  const std::string metric =
+      "soil." + farm.topology().node(leaf0).name + ".poll_timeouts";
+
+  sim::FaultPlan plan;
+  // 90% poll loss for 2 s: ~18 timeouts/s against the 2/s SLO.
+  plan.poll_loss(at(500), Duration::sec(2), leaf0, 0.9);
+  ChaosController chaos(farm, std::move(plan));
+  chaos.arm();
+  farm.run_for(Duration::sec(4));
+
+  telemetry::Hub& tel = farm.telemetry();
+  auto firing = tel.query().label("alert.poll-timeouts.firing").first();
+  ASSERT_TRUE(firing.has_value());
+  // Fires inside the loss window: first timeouts need a poll interval plus
+  // the poll timeout to accumulate, then the 100 ms hold must elapse.
+  EXPECT_GT(firing->at, at(500));
+  EXPECT_LE(firing->at, at(2000));
+  // ...and resolves once the channel is clean and stragglers drained.
+  auto resolved = tel.query().label("alert.poll-timeouts.resolved").first();
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_GT(resolved->at, firing->at);
+  EXPECT_LE(resolved->at, at(3500));
+  const telemetry::Alert* a =
+      farm.scarecrow().alerts().find("poll-timeouts", metric);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->state, telemetry::AlertState::kResolved);
+  // Lossy polls are not a dead switch: the seeder never declared failure.
+  EXPECT_FALSE(farm.seeder().node_failed(leaf0));
+}
+
+TEST(ChaosTest, TransientCrashIsRecordedWithoutDeclaringFailure) {
+  // A die+recover inside one heartbeat window used to vanish from the
+  // detection accounting entirely; now the recovered ping records the miss
+  // streak as a transient, visible to flight dumps.
+  FarmSystem farm(FarmSystemConfig{
+      .topology = {.spines = 1, .leaves = 2, .hosts_per_leaf = 2}});
+  CollectingHarvester harv(farm.engine(), "chaos");
+  farm.bus().attach_harvester("chaos", harv);
+  ASSERT_FALSE(farm.install_task({"chaos", kReporterAll, {"Reporter"}, {}})
+                   .empty());
+  net::NodeId victim = farm.fabric().leaf_switches[0];
+
+  sim::FaultPlan plan;
+  // Down for 300 ms — at most two missed 250 ms heartbeats, under the
+  // 3-miss failure limit.
+  plan.crash_reboot(at(1000), Duration::ms(300), victim);
+  ChaosController chaos(farm, std::move(plan));
+  chaos.arm();
+  farm.run_for(Duration::sec(3));
+
+  EXPECT_FALSE(farm.seeder().node_failed(victim));
+  EXPECT_EQ(farm.seeder().detection_latency().count(), 0u);
+  EXPECT_GE(farm.seeder().transients(), 1u);
+  EXPECT_EQ(farm.seeder().miss_streak(victim), 0);  // streak cleared again
+  if (telemetry::Hub::compiled_in()) {
+    telemetry::Hub& tel = farm.telemetry();
+    // The aggregate counts transients; the mark row carries the streak
+    // depth at recovery.
+    EXPECT_DOUBLE_EQ(tel.query().label("seeder.transients").total(),
+                     static_cast<double>(farm.seeder().transients()));
+    auto mark = tel.query()
+                    .label("seeder.transients")
+                    .kind(telemetry::EventKind::kMark)
+                    .first();
+    ASSERT_TRUE(mark.has_value());
+    EXPECT_GT(mark->at, at(1300));
+    EXPECT_GE(mark->value, 1.0);
+    // The misses themselves were marked while the switch was dark.
+    EXPECT_GE(tel.query().label("seeder.heartbeat_miss").count(), 1u);
+  }
+}
+
 }  // namespace
 }  // namespace farm::core

@@ -3,8 +3,12 @@
 // export well-formedness, and the flight recorder.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <map>
+#include <optional>
 #include <sstream>
 
 #include "sim/engine.h"
@@ -340,6 +344,232 @@ TEST(Export, CsvAndJsonSeries) {
   std::ostringstream js;
   write_json_series(js, hub.query().label("**"), hub.registry());
   EXPECT_TRUE(json_well_formed(js.str())) << js.str();
+}
+
+// --- Chrome trace parse-back -------------------------------------------------
+
+// Tiny recursive-descent JSON reader — enough structure to walk the trace
+// back out of the exporter (objects, arrays, strings, numbers, literals).
+// Deliberately strict: any syntax surprise fails the parse and the test.
+struct JsonValue {
+  enum Type { kNull, kBool, kNumber, kString, kArray, kObject } type = kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* get(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse() {
+    auto v = value();
+    skip_ws();
+    if (!v || pos_ != text_.size()) return std::nullopt;
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\r' ||
+            text_[pos_] == '\t'))
+      ++pos_;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  std::optional<JsonValue> value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f' || c == 'n') return literal();
+    return number();
+  }
+
+  std::optional<JsonValue> object() {
+    JsonValue v;
+    v.type = JsonValue::kObject;
+    if (!eat('{')) return std::nullopt;
+    if (eat('}')) return v;
+    do {
+      auto key = string_value();
+      if (!key || !eat(':')) return std::nullopt;
+      auto val = value();
+      if (!val) return std::nullopt;
+      v.object.emplace(key->string, std::move(*val));
+    } while (eat(','));
+    if (!eat('}')) return std::nullopt;
+    return v;
+  }
+
+  std::optional<JsonValue> array() {
+    JsonValue v;
+    v.type = JsonValue::kArray;
+    if (!eat('[')) return std::nullopt;
+    if (eat(']')) return v;
+    do {
+      auto val = value();
+      if (!val) return std::nullopt;
+      v.array.push_back(std::move(*val));
+    } while (eat(','));
+    if (!eat(']')) return std::nullopt;
+    return v;
+  }
+
+  std::optional<JsonValue> string_value() {
+    if (!eat('"')) return std::nullopt;
+    JsonValue v;
+    v.type = JsonValue::kString;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': v.string += '"'; break;
+          case '\\': v.string += '\\'; break;
+          case '/': v.string += '/'; break;
+          case 'n': v.string += '\n'; break;
+          case 'r': v.string += '\r'; break;
+          case 't': v.string += '\t'; break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            pos_ += 4;  // escaped control char; content irrelevant here
+            v.string += '?';
+            break;
+          default: return std::nullopt;
+        }
+      } else {
+        v.string += c;
+      }
+    }
+    if (!eat('"')) return std::nullopt;
+    return v;
+  }
+
+  std::optional<JsonValue> literal() {
+    JsonValue v;
+    auto match = [&](std::string_view word) {
+      if (text_.substr(pos_, word.size()) != word) return false;
+      pos_ += word.size();
+      return true;
+    };
+    if (match("true")) { v.type = JsonValue::kBool; v.boolean = true; return v; }
+    if (match("false")) { v.type = JsonValue::kBool; return v; }
+    if (match("null")) return v;
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> number() {
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) return std::nullopt;
+    JsonValue v;
+    v.type = JsonValue::kNumber;
+    v.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                           nullptr);
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+TEST(Export, ChromeTraceParsesBack) {
+  sim::Engine engine;
+  Hub& hub = engine.telemetry();
+  MetricId c = hub.counter("bus.up.bytes");
+  MetricId g = hub.gauge("pcie.sw.free_at_ns");
+  MetricId mk = hub.counter("chaos.switch_crash");
+  TrackId t = hub.track("soil.sw0");
+  for (int i = 1; i <= 5; ++i) {
+    engine.schedule_at(at_ms(i), [&hub, c, g, mk, t, i] {
+      hub.add(c, 100 * i);           // running counter level must ascend
+      hub.set(g, 1e6 / i);           // gauge level may go anywhere
+      if (i % 2 == 1) hub.mark(mk, i);
+      SpanId s = hub.begin_span(t, "poll");
+      hub.end_span(t, s);
+    });
+  }
+  engine.run_for(Duration::ms(10));
+
+  std::ostringstream os;
+  write_chrome_trace(os, hub, {.reason = "parse-back"});
+  auto root = JsonReader(os.str()).parse();
+  ASSERT_TRUE(root.has_value()) << os.str();
+  ASSERT_EQ(root->type, JsonValue::kObject);
+
+  const JsonValue* events = root->get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->type, JsonValue::kArray);
+
+  std::size_t spans = 0, marks = 0, track_meta = 0;
+  std::vector<std::pair<double, double>> counter_series;  // (ts, level)
+  for (const JsonValue& e : events->array) {
+    ASSERT_EQ(e.type, JsonValue::kObject);
+    const JsonValue* ph = e.get("ph");
+    ASSERT_NE(ph, nullptr);
+    const JsonValue* name = e.get("name");
+    ASSERT_NE(name, nullptr);
+    if (ph->string == "X") {
+      ++spans;
+      ASSERT_NE(e.get("dur"), nullptr);
+      EXPECT_GE(e.get("dur")->number, 0);
+      EXPECT_EQ(name->string, "poll");
+    } else if (ph->string == "i") {
+      ++marks;
+      EXPECT_EQ(name->string, "chaos.switch_crash");
+    } else if (ph->string == "M") {
+      ++track_meta;
+    } else if (ph->string == "C" && name->string == "bus.up.bytes") {
+      const JsonValue* args = e.get("args");
+      ASSERT_NE(args, nullptr);
+      ASSERT_NE(args->get("value"), nullptr);
+      counter_series.emplace_back(e.get("ts")->number,
+                                  args->get("value")->number);
+    }
+  }
+
+  // Every recorded span, mark, and track survives the round trip.
+  EXPECT_EQ(spans, hub.tracer().spans(t).size());
+  EXPECT_EQ(marks, hub.query().kind(EventKind::kMark).count());
+  EXPECT_EQ(track_meta, hub.tracer().track_count());
+
+  // Counter samples are the *running* level: ascending in time and value,
+  // ending at the live registry total.
+  ASSERT_EQ(counter_series.size(), 5u);
+  for (std::size_t i = 1; i < counter_series.size(); ++i) {
+    EXPECT_GT(counter_series[i].first, counter_series[i - 1].first);
+    EXPECT_GE(counter_series[i].second, counter_series[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(counter_series.back().second, hub.registry().value(c));
+
+  // The export header survives too.
+  const JsonValue* other = root->get("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->get("clock")->string, "sim-virtual-time");
+  EXPECT_EQ(other->get("reason")->string, "parse-back");
+  EXPECT_DOUBLE_EQ(other->get("events_total")->number,
+                   static_cast<double>(hub.events().total_appended()));
 }
 
 // --- Flight recorder ---------------------------------------------------------
