@@ -7,12 +7,14 @@
 // feasible (validated).
 #include <cstdio>
 
+#include "bench_json.h"
 #include "placement/generator.h"
 #include "placement/heuristic.h"
 
 using namespace farm::placement;
 
 int main() {
+  farm::bench::BenchJson json("ablation_migration");
   std::printf("Ablation — migration pass of Algorithm 1\n\n");
   std::printf("%6s | %14s %14s %10s\n", "seeds", "MU(no-migr)", "MU(migr)",
               "gain");
@@ -47,6 +49,10 @@ int main() {
     std::printf("%6d | %14.1f %14.1f %9.1f%%\n", 6 * seeds_per_task,
                 base.total_utility, with.total_utility,
                 base.total_utility > 0 ? 100 * gain / base.total_utility : 0);
+    json.record("utility_no_migration", base.total_utility, "MU",
+                {farm::bench::param("seeds", 6 * seeds_per_task)});
+    json.record("utility_with_migration", with.total_utility, "MU",
+                {farm::bench::param("seeds", 6 * seeds_per_task)});
     ok &= with.total_utility >= base.total_utility - 1e-6;
   }
   std::printf("\nmigration pass never loses utility: %s\n",

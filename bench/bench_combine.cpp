@@ -1,0 +1,144 @@
+// Combine: deterministic parallel placement & scenario execution.
+//
+// BM_PlacementParallel — the 10k-seed placement instance of Fig. 7's top
+// end, solved sequentially (threads=1) and with the Combine worker pool at
+// 2/4/8 threads. Two claims under test:
+//
+//   1. Determinism: the parallel placements are bit-identical to the
+//      sequential run at every thread count (hard shape check).
+//   2. Speedup: ≥2× at 8 threads — checked only when the host actually has
+//      ≥8 hardware threads; on smaller machines the measured ratio is
+//      still recorded (with the core count) so the trajectory stays
+//      comparable across hosts.
+//
+// A second section measures the Combine scenario runner (sim/sweep.h) on a
+// batch of independent chaos-style engine runs, with the same
+// equality-then-speedup structure.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "bench_json.h"
+#include "placement/generator.h"
+#include "placement/heuristic.h"
+#include "sim/sweep.h"
+#include "util/rng.h"
+
+using namespace farm;
+using namespace farm::placement;
+
+namespace {
+
+bool same_placement(const PlacementResult& a, const PlacementResult& b) {
+  if (a.placements.size() != b.placements.size()) return false;
+  for (std::size_t i = 0; i < a.placements.size(); ++i) {
+    const auto& x = a.placements[i];
+    const auto& y = b.placements[i];
+    if (x.seed != y.seed || x.node != y.node || x.variant != y.variant ||
+        x.utility != y.utility || x.alloc.vCPU != y.alloc.vCPU ||
+        x.alloc.RAM != y.alloc.RAM || x.alloc.TCAM != y.alloc.TCAM ||
+        x.alloc.PCIe != y.alloc.PCIe)
+      return false;
+  }
+  return a.total_utility == b.total_utility;
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchJson json("combine");
+  unsigned hw = std::thread::hardware_concurrency();
+  std::printf("Combine — parallel placement & scenario execution "
+              "(%u hardware threads)\n\n", hw);
+
+  // --- BM_PlacementParallel ----------------------------------------------
+  GeneratorSpec spec;
+  spec.n_switches = 1040;
+  spec.n_tasks = 10;
+  spec.seeds_per_task = 1000;  // 10k seeds, Fig. 7 top end
+  spec.seed = 42;
+  auto problem = generate_problem(spec);
+
+  std::printf("BM_PlacementParallel — %d seeds, %d switches\n",
+              spec.n_tasks * spec.seeds_per_task, spec.n_switches);
+  std::printf("%8s | %10s %10s %10s\n", "threads", "t(s)", "speedup",
+              "identical");
+
+  HeuristicOptions seq;
+  seq.threads = 1;
+  auto base = solve_heuristic(problem, seq);
+  double t1 = base.solve_seconds;
+  json.record("solve_seconds", t1, "s",
+              {bench::param("threads", 1), bench::param("hw_threads",
+                                                        static_cast<int>(hw)),
+               bench::param("seeds", spec.n_tasks * spec.seeds_per_task)});
+  std::printf("%8d | %10.2f %10s %10s\n", 1, t1, "1.00x", "-");
+
+  bool identical = true;
+  double speedup8 = 1;
+  for (int threads : {2, 4, 8}) {
+    HeuristicOptions par;
+    par.threads = threads;
+    auto r = solve_heuristic(problem, par);
+    bool same = same_placement(base, r) && base.lp_solves == r.lp_solves;
+    identical &= same;
+    double speedup = r.solve_seconds > 0 ? t1 / r.solve_seconds : 0;
+    if (threads == 8) speedup8 = speedup;
+    json.record("solve_seconds", r.solve_seconds, "s",
+                {bench::param("threads", threads),
+                 bench::param("hw_threads", static_cast<int>(hw)),
+                 bench::param("seeds", spec.n_tasks * spec.seeds_per_task)});
+    json.record("speedup", speedup, "x",
+                {bench::param("threads", threads),
+                 bench::param("hw_threads", static_cast<int>(hw))});
+    std::printf("%8d | %10.2f %9.2fx %10s\n", threads, r.solve_seconds,
+                speedup, same ? "yes" : "NO");
+  }
+
+  // --- Scenario sweep ------------------------------------------------------
+  // 64 independent engine runs, each scheduling/cancelling a few thousand
+  // events — the shape of a chaos sweep without the fault machinery.
+  auto scenario = [](std::size_t index, sim::Engine& engine) {
+    util::Rng rng(index + 1);
+    double fired = 0;
+    for (int i = 0; i < 2000; ++i) {
+      auto id = engine.schedule_at(
+          sim::TimePoint::origin() + sim::Duration::ms(rng.next_below(5000)),
+          [&fired] { fired += 1; });
+      if (rng.next_bool(0.3)) engine.cancel(id);
+    }
+    engine.run_until(sim::TimePoint::origin() + sim::Duration::sec(10));
+    sim::ScenarioMetrics m;
+    m.set("fired", fired);
+    return m;
+  };
+  const std::size_t kScenarios = 64;
+  auto run_timed = [&](int threads) {
+    auto t0 = std::chrono::steady_clock::now();
+    auto r = sim::run_scenarios(kScenarios, scenario, {.threads = threads});
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    return std::pair{r, secs};
+  };
+  auto [sweep1, st1] = run_timed(1);
+  auto [sweep8, st8] = run_timed(8);
+  bool sweep_same = sweep1 == sweep8;
+  double sweep_speedup = st8 > 0 ? st1 / st8 : 0;
+  std::printf("\nscenario sweep — %zu engines: seq %.2fs, 8 threads %.2fs "
+              "(%.2fx), identical: %s\n", kScenarios, st1, st8, sweep_speedup,
+              sweep_same ? "yes" : "NO");
+  json.record("sweep_seconds", st1, "s", {bench::param("threads", 1)});
+  json.record("sweep_seconds", st8, "s", {bench::param("threads", 8)});
+  json.record("sweep_speedup", sweep_speedup, "x",
+              {bench::param("hw_threads", static_cast<int>(hw))});
+
+  // Determinism is unconditional; the 2x bar needs the cores to exist.
+  bool ok = identical && sweep_same;
+  if (hw >= 8) ok &= speedup8 >= 2.0;
+  std::printf("\nparallel == sequential: %s; 8-thread speedup %.2fx%s\n",
+              identical && sweep_same ? "HOLDS" : "VIOLATED", speedup8,
+              hw >= 8 ? (speedup8 >= 2.0 ? " (>=2x HOLDS)" : " (<2x VIOLATED)")
+                      : " (host has <8 hardware threads; bar not applied)");
+  return ok ? 0 : 1;
+}

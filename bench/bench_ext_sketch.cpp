@@ -8,6 +8,7 @@
 // exactly the seed's machine variables).
 #include <cstdio>
 
+#include "bench_json.h"
 #include "farm/harvesters.h"
 #include "farm/system.h"
 #include "farm/usecases.h"
@@ -93,6 +94,7 @@ Result run(const core::UseCase& uc, int n_destinations) {
 }  // namespace
 
 int main() {
+  farm::bench::BenchJson json("ext_sketch");
   std::printf("Extension — sketch-based vs list-based superspreader "
               "detection (§VIII future work)\n\n");
   std::printf("%8s | %10s %12s %14s | %10s %12s %14s\n", "fanout",
@@ -110,6 +112,15 @@ int main() {
     std::printf("%8d | %10s %12.1f %14zu | %10s %12.1f %14zu\n", fanout,
                 l.detected ? "yes" : "NO", l.detect_ms, l.state_bytes,
                 s.detected ? "yes" : "NO", s.detect_ms, s.state_bytes);
+    for (const auto& [system, r] :
+         {std::pair{"list", &l}, std::pair{"cms", &s}}) {
+      json.record("detect_ms", r->detect_ms, "ms",
+                  {farm::bench::param("fanout", fanout),
+                   farm::bench::param("system", system)});
+      json.record("peak_state", static_cast<double>(r->state_bytes), "B",
+                  {farm::bench::param("fanout", fanout),
+                   farm::bench::param("system", system)});
+    }
     parity &= l.detected == s.detected && s.detected;
   }
 
@@ -123,6 +134,10 @@ int main() {
     Result l = run(list_based, -k);
     Result s = run(sketch_based, -k);
     std::printf("%10d | %18zu | %18zu\n", k, l.state_bytes, s.state_bytes);
+    json.record("tracking_state_list", static_cast<double>(l.state_bytes),
+                "B", {farm::bench::param("spreaders", k)});
+    json.record("tracking_state_cms", static_cast<double>(s.state_bytes),
+                "B", {farm::bench::param("spreaders", k)});
     list_min = std::min(list_min, l.state_bytes);
     list_max = std::max(list_max, l.state_bytes);
     sketch_min = std::min(sketch_min, s.state_bytes);

@@ -11,13 +11,23 @@
 //      "params":{"ports":384,"system":"FARM"}}, ...]}
 //
 // on destruction (or explicit write()). Stdout stays byte-identical — the
-// JSON is a side artifact in the working directory.
+// JSON is a side artifact.
+//
+// Output directory: $FARM_BENCH_DIR when set; otherwise the nearest
+// ancestor of the working directory that looks like the repo root
+// (ROADMAP.md + CMakeLists.txt); otherwise the working directory itself.
+// Benches run from build/bench/ under ctest and from the repo root in
+// scripts — without the walk-up, half the artifacts landed in build trees
+// that get wiped.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <string_view>
+#include <system_error>
 #include <utility>
 #include <vector>
 
@@ -70,6 +80,22 @@ inline BenchParam param(std::string_view key, std::string_view value) {
   return {std::string(key), "\"" + bench_json_escape(value) + "\""};
 }
 
+// Resolves where BENCH_*.json artifacts go (see file comment).
+inline std::filesystem::path bench_output_dir() {
+  if (const char* env = std::getenv("FARM_BENCH_DIR"); env && *env)
+    return env;
+  std::error_code ec;
+  auto dir = std::filesystem::current_path(ec);
+  if (ec) return ".";
+  for (auto d = dir; !d.empty(); d = d.parent_path()) {
+    if (std::filesystem::exists(d / "ROADMAP.md", ec) &&
+        std::filesystem::exists(d / "CMakeLists.txt", ec))
+      return d;
+    if (d == d.root_path()) break;
+  }
+  return dir;
+}
+
 class BenchJson {
  public:
   explicit BenchJson(std::string_view name) : name_(name) {}
@@ -92,10 +118,12 @@ class BenchJson {
     rows_.push_back(std::move(row));
   }
 
-  // Writes BENCH_<name>.json in the working directory; idempotent (later
+  // Writes BENCH_<name>.json in bench_output_dir(); idempotent (later
   // records trigger a rewrite from the destructor). False on I/O failure.
+  // Runs unconditionally from the destructor so the artifact exists even
+  // when the bench's shape check fails and it exits non-zero.
   bool write() {
-    std::ofstream os("BENCH_" + name_ + ".json");
+    std::ofstream os(bench_output_dir() / ("BENCH_" + name_ + ".json"));
     if (!os) return false;
     os << "{\"bench\":\"" << bench_json_escape(name_) << "\",\"results\":[";
     for (std::size_t i = 0; i < rows_.size(); ++i) {

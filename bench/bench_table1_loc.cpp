@@ -11,6 +11,7 @@
 #include <sstream>
 #include <string>
 
+#include "bench_json.h"
 #include "farm/usecases.h"
 
 namespace {
@@ -62,12 +63,18 @@ int main() {
   std::printf(" concrete syntax differs, the succinctness claim is what\n");
   std::printf(" reproduces)\n\n");
   std::printf("%-24s %10s %10s\n", "Use case", "Seed LoC", "Harv. LoC");
+  farm::bench::BenchJson json("table1_loc");
   int total_seed = 0;
   for (const auto& uc : farm::core::all_use_cases()) {
     int h = harvester_loc(header, harvester_of(uc.name));
     std::printf("%-24s %10d %10d\n", uc.name.c_str(), uc.seed_loc, h);
+    json.record("seed_loc", uc.seed_loc, "lines",
+                {farm::bench::param("use_case", uc.name)});
+    json.record("harvester_loc", h, "lines",
+                {farm::bench::param("use_case", uc.name)});
     total_seed += uc.seed_loc;
   }
+  json.record("total_seed_loc", total_seed, "lines");
   std::printf("\n%zu use cases, %d total seed LoC (avg %.0f per task)\n",
               farm::core::all_use_cases().size(), total_seed,
               static_cast<double>(total_seed) /

@@ -8,6 +8,8 @@
 // of §VII); the FARM row is what this repository demonstrates end-to-end.
 #include <cstdio>
 
+#include "bench_json.h"
+
 namespace {
 
 struct Row {
@@ -38,10 +40,15 @@ int main() {
   std::printf("Table V — features of generic M&M solutions\n\n");
   std::printf("%-10s %6s %6s %6s %6s %7s %8s\n", "System", "[DEC]", "[EXP]",
               "[OPT]", "[IND]", "react", "dynamic");
-  for (const Row& r : kRows)
+  farm::bench::BenchJson json("table5_features");
+  for (const Row& r : kRows) {
     std::printf("%-10s %6s %6s %6s %6s %7s %8s\n", r.system, mark(r.dec),
                 mark(r.exp), mark(r.opt), mark(r.ind), mark(r.react),
                 mark(r.dynamic));
+    int features = r.dec + r.exp + r.opt + r.ind + r.react + r.dynamic;
+    json.record("features", features, "count",
+                {farm::bench::param("system", r.system)});
+  }
   std::printf("\nFARM is the only row with every capability — the paper's "
               "comprehensiveness claim;\nsFlow/Sonata/Newton rows are "
               "exercised by the executable baselines in src/baselines.\n");

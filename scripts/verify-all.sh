@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# verify-all: configure + build + test the three supported configurations
-# in sequence — default (RelWithDebInfo), ASan+UBSan, and telemetry
-# compiled out. Workflow presets cannot mix configure presets, so each
-# configuration is its own workflow and this script is the chain.
+# verify-all: configure + build + test the four supported configurations
+# in sequence — default (RelWithDebInfo), ASan+UBSan, telemetry compiled
+# out, and TSan over the Combine-labelled concurrency tests (the worker
+# pool and the parallel placement/sweep paths, run at FARM_THREADS=8).
+# Workflow presets cannot mix configure presets, so each configuration is
+# its own workflow and this script is the chain.
 #
 # Usage: scripts/verify-all.sh [-jN]
 # Any extra arguments are forwarded to every `cmake --workflow` call.
@@ -10,7 +12,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-workflows=(verify-default verify-asan verify-telemetry-off)
+workflows=(verify-default verify-asan verify-telemetry-off verify-tsan)
 failed=()
 
 for wf in "${workflows[@]}"; do

@@ -44,6 +44,9 @@ struct SeederOptions {
   // Use the Algorithm-1 heuristic (default) or the MILP.
   bool use_milp = false;
   double milp_timeout_seconds = 10;
+  // Combine knobs ride along here: heuristic.threads spreads the LP
+  // batches across workers, heuristic.multi_start races perturbed greedy
+  // starts — both deterministic at any thread count.
   placement::HeuristicOptions heuristic;
   // Heartbeat-based switch failure detection (§II-C b: the seeder must
   // notice dead switches and re-place their seeds). Zero disables probing.

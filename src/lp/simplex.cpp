@@ -82,20 +82,36 @@ SolveStatus SimplexSolver::iterate(Tableau& t, std::vector<double>& red,
     }
     if (enter < 0) return SolveStatus::kOptimal;
 
-    // Ratio test.
+    // Ratio test, two passes: first the exact minimum ratio, then the
+    // smallest basic-variable index among the rows at that minimum. The
+    // old single pass updated best_ratio through an eps window, so chained
+    // near-ties could drift it several eps above the true minimum and pick
+    // a row whose pivot leaves a slightly negative rhs — and with an
+    // approximate tie-break Bland's anti-cycling proof does not apply.
     int leave = -1;
     double best_ratio = 0;
     for (std::size_t i = 0; i < m; ++i) {
       double a = t.rows[i][static_cast<std::size_t>(enter)];
       if (a <= kPivotEps) continue;
       double ratio = t.rhs(i) / a;
-      if (leave < 0 || ratio < best_ratio - kEps ||
-          (ratio < best_ratio + kEps && t.basis[i] < t.basis[static_cast<std::size_t>(leave)])) {
+      if (leave < 0 || ratio < best_ratio) {
         leave = static_cast<int>(i);
         best_ratio = ratio;
       }
     }
     if (leave < 0) return SolveStatus::kUnbounded;
+    // Bland mode needs exact ties for termination; Dantzig mode keeps the
+    // historical eps window, now anchored at the true minimum (bounded
+    // error instead of chained drift).
+    double tie_tol = bland ? 0.0 : kEps;
+    for (std::size_t i = 0; i < m; ++i) {
+      double a = t.rows[i][static_cast<std::size_t>(enter)];
+      if (a <= kPivotEps) continue;
+      double ratio = t.rhs(i) / a;
+      if (ratio <= best_ratio + tie_tol &&
+          t.basis[i] < t.basis[static_cast<std::size_t>(leave)])
+        leave = static_cast<int>(i);
+    }
     stall = best_ratio < kEps ? stall + 1 : 0;
 
     // Pivot.

@@ -7,10 +7,17 @@
 
 #include "placement/switch_lp.h"
 #include "util/check.h"
+#include "util/pool.h"
+#include "util/rng.h"
 
 namespace farm::placement {
 
 namespace {
+
+// Recomputed migration benefits below this are noise, not improvements;
+// applying them would churn placements (and with interacting moves can
+// make the objective drift downward through LP round-off).
+constexpr double kBenefitEps = 1e-9;
 
 double res_dim(const ResourcesValue& r, std::size_t d) {
   switch (d) {
@@ -122,33 +129,58 @@ ResourcesValue residue_of(const PlacementProblem& problem,
                                            : it->second;
 }
 
-}  // namespace
+// Read-only map lookups for the parallel phases: operator[] would insert
+// (a mutation — and a data race across workers), find() does not.
+ResourcesValue reserved_of(
+    const std::unordered_map<net::NodeId, ResourcesValue>& reserved,
+    net::NodeId node) {
+  auto it = reserved.find(node);
+  return it == reserved.end() ? ResourcesValue{} : it->second;
+}
 
-PlacementResult solve_heuristic(const PlacementProblem& problem,
-                                const HeuristicOptions& options) {
-  auto t0 = std::chrono::steady_clock::now();
+double utility_of(const std::unordered_map<net::NodeId, double>& utilities,
+                  net::NodeId node) {
+  auto it = utilities.find(node);
+  return it == utilities.end() ? 0 : it->second;
+}
+
+PlacementResult solve_single_start(const PlacementProblem& problem,
+                                   const HeuristicOptions& options,
+                                   util::ThreadPool& pool,
+                                   std::uint64_t tie_break) {
   PlacementResult result;
 
   std::unordered_map<net::NodeId, SwitchState> switches;
   for (const auto& sw : problem.switches) switches[sw.node].model = &sw;
 
+  // Multi-start tie-break perturbation (tie_break == 0 is the unperturbed
+  // greedy): a deterministic stream drawn in fixed iteration order.
+  util::Rng jitter_rng(0x9E3779B97F4A7C15ull ^ tie_break);
+
   // Pre-compute per-seed, per-variant minimum utility / minimal allocation
-  // (capacity-independent part).
+  // (capacity-independent part). One independent LP per variant — the
+  // first parallel batch; reduced by seed index.
   struct VariantInfo {
     std::optional<ResourcesValue> min_alloc;  // unbounded-box minimal alloc
     double min_util = 0;
   };
-  std::unordered_map<const SeedModel*, std::vector<VariantInfo>> variant_info;
   ResourcesValue unbounded{1e9, 1e9, 1e9, 1e9};
-  for (const auto& s : problem.seeds) {
-    auto& infos = variant_info[&s];
-    for (const auto& v : s.variants) {
-      VariantInfo vi;
-      vi.min_alloc = minimal_allocation(v, unbounded);
-      ++result.lp_solves;
-      if (vi.min_alloc) vi.min_util = v.utility(*vi.min_alloc);
-      infos.push_back(vi);
-    }
+  auto per_seed_infos = pool.parallel_map<std::vector<VariantInfo>>(
+      problem.seeds.size(), [&](std::size_t i) {
+        std::vector<VariantInfo> infos;
+        infos.reserve(problem.seeds[i].variants.size());
+        for (const auto& v : problem.seeds[i].variants) {
+          VariantInfo vi;
+          vi.min_alloc = minimal_allocation(v, unbounded);
+          if (vi.min_alloc) vi.min_util = v.utility(*vi.min_alloc);
+          infos.push_back(vi);
+        }
+        return infos;
+      });
+  std::unordered_map<const SeedModel*, std::vector<VariantInfo>> variant_info;
+  for (std::size_t i = 0; i < problem.seeds.size(); ++i) {
+    result.lp_solves += problem.seeds[i].variants.size();
+    variant_info[&problem.seeds[i]] = std::move(per_seed_infos[i]);
   }
 
   // --- Step 1: order tasks by decreasing minimum utility -------------------
@@ -162,9 +194,25 @@ PlacementResult solve_heuristic(const PlacementProblem& problem,
       for (const auto& vi : variant_info[s]) best = std::max(best, vi.min_util);
       u += best;
     }
+    // Tiny multiplicative jitter reorders only near-equal tasks; the map
+    // iterates in task-name order, so the stream is stable per start.
+    if (tie_break != 0) u *= 1.0 + 1e-3 * jitter_rng.next_double();
     task_order.emplace_back(u, task);
   }
   std::sort(task_order.rbegin(), task_order.rend());
+
+  // Perturbed candidate scan order per seed (greedy ties go to the first
+  // scanned candidate; shuffling explores different tied choices).
+  std::unordered_map<const SeedModel*, std::vector<std::size_t>> cand_order;
+  if (tie_break != 0) {
+    for (const auto& s : problem.seeds) {
+      std::vector<std::size_t> order(s.candidates.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      for (std::size_t i = order.size(); i > 1; --i)
+        std::swap(order[i - 1], order[jitter_rng.next_below(i)]);
+      cand_order[&s] = std::move(order);
+    }
+  }
 
   // --- Step 2: greedy placement --------------------------------------------
   struct Decision {
@@ -192,7 +240,10 @@ PlacementResult solve_heuristic(const PlacementProblem& problem,
       double best_score = -1;
       double best_poll = 0;
       bool best_is_current = false;
-      for (net::NodeId n : s->candidates) {
+      for (std::size_t ci = 0; ci < s->candidates.size(); ++ci) {
+        net::NodeId n =
+            tie_break == 0 ? s->candidates[ci]
+                           : s->candidates[cand_order[s][ci]];
         auto swit = switches.find(n);
         if (swit == switches.end()) continue;
         SwitchState& st = swit->second;
@@ -280,13 +331,36 @@ PlacementResult solve_heuristic(const PlacementProblem& problem,
     acc.PCIe += res.PCIe;
   }
 
+  // The LPs decompose per switch: solve them as one parallel batch over a
+  // node-sorted job list, then fold the results back in index order.
+  std::vector<net::NodeId> step3_nodes;
+  step3_nodes.reserve(switches.size());
+  for (const auto& [node, _] : switches) step3_nodes.push_back(node);
+  std::sort(step3_nodes.begin(), step3_nodes.end());
+  struct Step3Out {
+    std::optional<SwitchLpResult> lp;
+    std::uint64_t solves = 0;
+  };
+  auto step3 = pool.parallel_map<Step3Out>(
+      step3_nodes.size(), [&](std::size_t i) {
+        const SwitchState& st = switches.find(step3_nodes[i])->second;
+        Step3Out out;
+        out.lp = redistribute_on_switch(*st.model, st.pinned,
+                                        reserved_of(reserved, step3_nodes[i]),
+                                        &out.solves);
+        return out;
+      });
+
   std::unordered_map<std::string, PlacementEntry> entries;
   std::unordered_map<net::NodeId, double> switch_utility;
-  for (auto& [node, st] : switches) {
-    auto lp = redistribute_on_switch(*st.model, st.pinned, reserved[node],
-                                     &result.lp_solves);
+  for (std::size_t si = 0; si < step3_nodes.size(); ++si) {
+    net::NodeId node = step3_nodes[si];
+    SwitchState& st = switches.find(node)->second;
+    result.lp_solves += step3[si].solves;
+    const auto& lp = step3[si].lp;
     if (!lp) {
       // Fall back to the greedy minimal allocations.
+      switch_utility[node] = 0;
       for (std::size_t i = 0; i < st.pinned.size(); ++i) {
         const auto& vi =
             variant_info[st.pinned[i].seed]
@@ -327,7 +401,16 @@ PlacementResult solve_heuristic(const PlacementProblem& problem,
       net::NodeId from, to;
       int variant;
     };
-    std::vector<Move> moves;
+    // Enumerate candidate moves sequentially (cheap; also what meters the
+    // eval budget), then price them as a parallel LP batch. The pricing
+    // phase only reads the step-3 state — every mutation happens in the
+    // apply phase below — so the batch decomposes perfectly.
+    struct EvalJob {
+      const SeedModel* seed;
+      net::NodeId from, to;
+      int variant;
+    };
+    std::vector<EvalJob> eval_jobs;
     for (const auto& s : problem.seeds) {
       if (evals >= options.max_migration_evals) break;
       auto eit = entries.find(s.id);
@@ -336,48 +419,77 @@ PlacementResult solve_heuristic(const PlacementProblem& problem,
       for (net::NodeId to : s.candidates) {
         if (to == from) continue;
         if (evals >= options.max_migration_evals) break;
-        auto target_it = switches.find(to);
-        auto source_it = switches.find(from);
-        if (target_it == switches.end() || source_it == switches.end())
-          continue;
+        if (!switches.count(to) || !switches.count(from)) continue;
         ++evals;
-        // Benefit = ΔU(target with s) + ΔU(source without s).
-        auto target_pinned = target_it->second.pinned;
-        target_pinned.push_back({&s, eit->second.variant});
-        ResourcesValue target_res = reserved[to];
-        auto target_lp = redistribute_on_switch(
-            *target_it->second.model, target_pinned, target_res,
-            &result.lp_solves);
-        if (!target_lp) continue;
-        std::vector<PinnedSeed> source_pinned;
-        for (const auto& p : source_it->second.pinned)
-          if (p.seed->id != s.id) source_pinned.push_back(p);
-        // Residue applies only when the seed is *actually deployed* at the
-        // source (plc' = 1): the doubled-resources window exists while its
-        // state transfers. Re-deciding a fresh placement is free.
-        ResourcesValue source_res = reserved[from];
-        auto curp = problem.current_placement.find(s.id);
-        if (curp != problem.current_placement.end() && curp->second == from) {
-          ResourcesValue own = residue_of(problem, s.id);
-          source_res.vCPU += own.vCPU;
-          source_res.RAM += own.RAM;
-          source_res.TCAM += own.TCAM;
-        }
-        auto source_lp = redistribute_on_switch(
-            *source_it->second.model, source_pinned, source_res,
-            &result.lp_solves);
-        if (!source_lp) continue;
-        double benefit = (target_lp->utility - switch_utility[to]) +
-                         (source_lp->utility - switch_utility[from]);
-        if (benefit > 1e-9)
-          moves.push_back({benefit, &s, from, to, eit->second.variant});
+        eval_jobs.push_back({&s, from, to, eit->second.variant});
       }
     }
+
+    struct EvalOut {
+      bool beneficial = false;
+      double benefit = 0;
+      std::uint64_t solves = 0;
+    };
+    auto priced = pool.parallel_map<EvalOut>(
+        eval_jobs.size(), [&](std::size_t i) {
+          const EvalJob& job = eval_jobs[i];
+          EvalOut out;
+          // Benefit = ΔU(target with s) + ΔU(source without s).
+          const SwitchState& target = switches.find(job.to)->second;
+          auto target_pinned = target.pinned;
+          target_pinned.push_back({job.seed, job.variant});
+          auto target_lp = redistribute_on_switch(
+              *target.model, target_pinned, reserved_of(reserved, job.to),
+              &out.solves);
+          if (!target_lp) return out;
+          const SwitchState& source = switches.find(job.from)->second;
+          std::vector<PinnedSeed> source_pinned;
+          for (const auto& p : source.pinned)
+            if (p.seed->id != job.seed->id) source_pinned.push_back(p);
+          // Residue applies only when the seed is *actually deployed* at
+          // the source (plc' = 1): the doubled-resources window exists
+          // while its state transfers. Re-deciding a fresh placement is
+          // free.
+          ResourcesValue source_res = reserved_of(reserved, job.from);
+          auto curp = problem.current_placement.find(job.seed->id);
+          if (curp != problem.current_placement.end() &&
+              curp->second == job.from) {
+            ResourcesValue own = residue_of(problem, job.seed->id);
+            source_res.vCPU += own.vCPU;
+            source_res.RAM += own.RAM;
+            source_res.TCAM += own.TCAM;
+          }
+          auto source_lp = redistribute_on_switch(
+              *source.model, source_pinned, source_res, &out.solves);
+          if (!source_lp) return out;
+          out.benefit = (target_lp->utility - utility_of(switch_utility, job.to)) +
+                        (source_lp->utility - utility_of(switch_utility, job.from));
+          out.beneficial = out.benefit > kBenefitEps;
+          return out;
+        });
+
+    std::vector<Move> moves;
+    for (std::size_t i = 0; i < eval_jobs.size(); ++i) {
+      result.lp_solves += priced[i].solves;
+      if (priced[i].beneficial)
+        moves.push_back({priced[i].benefit, eval_jobs[i].seed,
+                         eval_jobs[i].from, eval_jobs[i].to,
+                         eval_jobs[i].variant});
+    }
     std::sort(moves.begin(), moves.end(),
-              [](const Move& a, const Move& b) { return a.benefit > b.benefit; });
+              [](const Move& a, const Move& b) {
+                if (a.benefit != b.benefit) return a.benefit > b.benefit;
+                // Stable order for equal benefits, independent of the
+                // enumeration that produced them.
+                if (a.seed->id != b.seed->id) return a.seed->id < b.seed->id;
+                return a.to < b.to;
+              });
     for (const auto& mv : moves) {
-      // Re-evaluate against the evolving state; apply only if still
-      // beneficial.
+      // Earlier applied moves shifted switch utilities (and pinned sets),
+      // so the scored benefit is stale: re-price against the evolving
+      // state and apply only if the *recomputed* benefit stays positive —
+      // an interacting move whose recomputed benefit turns ≤ 0 must be
+      // skipped, not applied on the strength of its stale score.
       auto& src = switches[mv.from];
       auto& dst = switches[mv.to];
       auto eit = entries.find(mv.seed->id);
@@ -385,13 +497,13 @@ PlacementResult solve_heuristic(const PlacementProblem& problem,
       auto dst_pinned = dst.pinned;
       dst_pinned.push_back({mv.seed, mv.variant});
       auto dst_lp = redistribute_on_switch(*dst.model, dst_pinned,
-                                           reserved[mv.to],
+                                           reserved_of(reserved, mv.to),
                                            &result.lp_solves);
       if (!dst_lp) continue;
       std::vector<PinnedSeed> src_pinned;
       for (const auto& p : src.pinned)
         if (p.seed->id != mv.seed->id) src_pinned.push_back(p);
-      ResourcesValue src_res = reserved[mv.from];
+      ResourcesValue src_res = reserved_of(reserved, mv.from);
       auto curp2 = problem.current_placement.find(mv.seed->id);
       if (curp2 != problem.current_placement.end() &&
           curp2->second == mv.from) {
@@ -403,9 +515,9 @@ PlacementResult solve_heuristic(const PlacementProblem& problem,
       auto src_lp = redistribute_on_switch(*src.model, src_pinned, src_res,
                                            &result.lp_solves);
       if (!src_lp) continue;
-      double benefit = (dst_lp->utility - switch_utility[mv.to]) +
-                       (src_lp->utility - switch_utility[mv.from]);
-      if (benefit <= 1e-9) continue;
+      double benefit = (dst_lp->utility - utility_of(switch_utility, mv.to)) +
+                       (src_lp->utility - utility_of(switch_utility, mv.from));
+      if (benefit <= kBenefitEps) continue;
       improved = true;
       // Apply the move.
       src.remove(mv.seed->id);
@@ -437,6 +549,39 @@ PlacementResult solve_heuristic(const PlacementProblem& problem,
             });
   result.total_utility = 0;
   for (const auto& e : result.placements) result.total_utility += e.utility;
+  return result;
+}
+
+}  // namespace
+
+PlacementResult solve_heuristic(const PlacementProblem& problem,
+                                const HeuristicOptions& options) {
+  auto t0 = std::chrono::steady_clock::now();
+  util::ThreadPool pool(options.threads);
+
+  PlacementResult result;
+  int starts = std::max(1, options.multi_start);
+  if (starts == 1) {
+    result = solve_single_start(problem, options, pool, 0);
+  } else {
+    // The outer fan-out owns the pool; each start's inner batches detect
+    // they run on pool workers and execute inline (no oversubscription).
+    auto all = pool.parallel_map<PlacementResult>(
+        static_cast<std::size_t>(starts), [&](std::size_t k) {
+          return solve_single_start(problem, options, pool,
+                                    static_cast<std::uint64_t>(k));
+        });
+    std::size_t best = 0;
+    std::uint64_t lp_solves = 0;
+    for (std::size_t k = 0; k < all.size(); ++k) {
+      lp_solves += all[k].lp_solves;
+      // Strictly-greater keeps the lowest index among exact ties — the
+      // winner is a pure function of the inputs, not of scheduling.
+      if (all[k].total_utility > all[best].total_utility) best = k;
+    }
+    result = std::move(all[best]);
+    result.lp_solves = lp_solves;
+  }
   result.solve_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

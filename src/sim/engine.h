@@ -9,7 +9,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -53,6 +52,11 @@ class Engine {
   void run();
 
   std::size_t pending_events() const { return live_.size(); }
+  // Heap entries including cancelled tombstones awaiting compaction.
+  // Bounded: compaction keeps this within a small factor of
+  // pending_events(), so cancel/reschedule-heavy components (periodic
+  // tasks re-arming every tick) cannot grow the engine without bound.
+  std::size_t heap_size() const { return heap_.size(); }
   std::uint64_t executed_events() const { return executed_; }
 
   // The engine's Granary telemetry domain (one Hub per Engine, so
@@ -74,12 +78,20 @@ class Engine {
     }
   };
 
+  // Drops cancelled tombstones once they dominate the heap; amortized O(1)
+  // per cancel (each compaction at least halves the heap and is paid for
+  // by the cancels that created the tombstones).
+  void maybe_compact();
+
   TimePoint now_;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::unique_ptr<telemetry::Hub> telemetry_;
   telemetry::MetricId events_metric_ = telemetry::kInvalidMetric;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  // Min-heap by (time, id) maintained with the std heap algorithms; an
+  // explicit vector (instead of std::priority_queue) so compaction can
+  // filter tombstones in place.
+  std::vector<Event> heap_;
   // Scheduled-but-not-yet-executed (and not cancelled) event ids. Heap
   // entries not in this set are tombstones skipped by step().
   std::unordered_set<EventId> live_;

@@ -1,0 +1,37 @@
+#include "sim/sweep.h"
+
+#include "util/pool.h"
+
+namespace farm::sim {
+
+std::map<std::string, SweepResult::Aggregate> SweepResult::aggregate() const {
+  std::map<std::string, Aggregate> out;
+  for (const auto& run : runs) {
+    for (const auto& [key, v] : run.values) {
+      auto [it, fresh] = out.try_emplace(key);
+      Aggregate& a = it->second;
+      if (fresh) {
+        a.min = a.max = v;
+      } else {
+        a.min = std::min(a.min, v);
+        a.max = std::max(a.max, v);
+      }
+      a.sum += v;
+      ++a.count;
+    }
+  }
+  return out;
+}
+
+SweepResult run_scenarios(std::size_t count, const ScenarioFn& fn,
+                          const SweepOptions& options) {
+  SweepResult result;
+  util::ThreadPool pool(options.threads);
+  result.runs = pool.parallel_map<ScenarioMetrics>(count, [&](std::size_t i) {
+    Engine engine;
+    return fn(i, engine);
+  });
+  return result;
+}
+
+}  // namespace farm::sim

@@ -1,0 +1,68 @@
+// Combine scenario runner — fans independent simulation scenarios out
+// across threads.
+//
+// Chaos sweeps and the figure benches repeat the same experiment over a
+// parameter grid (fault seeds, fabric sizes, polling rates). Each repeat is
+// a pure function of its index: it builds its own Engine (which owns its
+// own telemetry Hub), runs to completion, and reduces to a small metric
+// map. Nothing is shared between scenarios, so they parallelize freely;
+// results are collected by index, which makes the sweep output — including
+// every aggregate — bit-identical to a sequential run at any thread count.
+//
+// Virtual time itself never parallelizes: a single Engine's event loop is
+// strictly ordered by (time, id) and callbacks mutate shared world state,
+// so Combine threads *across* engines, never within one.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace farm::sim {
+
+struct SweepOptions {
+  // 0 = resolve via util::ThreadPool::default_threads() (FARM_THREADS).
+  int threads = 0;
+};
+
+// Named measurements one scenario reduces to. std::map keeps key order
+// deterministic for reporting and comparison.
+struct ScenarioMetrics {
+  std::map<std::string, double> values;
+  void set(const std::string& key, double v) { values[key] = v; }
+  double get(const std::string& key, double fallback = 0) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  bool operator==(const ScenarioMetrics&) const = default;
+};
+
+// Builds and runs scenario `index` inside `engine` (fresh per scenario) and
+// returns its metrics. Must be safe to call concurrently for distinct
+// indices: no mutable shared state beyond the engine handed in.
+using ScenarioFn = std::function<ScenarioMetrics(std::size_t index,
+                                                 Engine& engine)>;
+
+struct SweepResult {
+  std::vector<ScenarioMetrics> runs;  // index order, one per scenario
+
+  // Per-key summary across all runs that recorded the key.
+  struct Aggregate {
+    std::size_t count = 0;
+    double sum = 0, min = 0, max = 0;
+    double mean() const { return count == 0 ? 0 : sum / count; }
+  };
+  std::map<std::string, Aggregate> aggregate() const;
+
+  bool operator==(const SweepResult&) const = default;
+};
+
+// Runs `count` scenarios across the configured number of threads. Each
+// scenario gets a fresh Engine; results land in index order.
+SweepResult run_scenarios(std::size_t count, const ScenarioFn& fn,
+                          const SweepOptions& options = {});
+
+}  // namespace farm::sim

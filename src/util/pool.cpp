@@ -1,0 +1,128 @@
+#include "util/pool.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace farm::util {
+
+namespace {
+
+// Scoped override (strongest), 0 = none.
+std::atomic<int> g_override{0};
+
+// True while the current thread is executing pool work (worker or
+// participating submitter); nested parallel_for then runs inline.
+thread_local bool tl_in_pool = false;
+
+int env_threads() {
+  static const int cached = [] {
+    if (const char* env = std::getenv("FARM_THREADS")) {
+      int v = std::atoi(env);
+      if (v >= 1) return v;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }();
+  return cached;
+}
+
+}  // namespace
+
+int ThreadPool::default_threads() {
+  int ov = g_override.load(std::memory_order_relaxed);
+  return ov >= 1 ? ov : env_threads();
+}
+
+ThreadPool& ThreadPool::shared() {
+  // Sized once at first use; later ScopedThreads overrides do not resize
+  // it — code honouring per-call thread knobs constructs its own pool.
+  static ThreadPool pool(0);
+  return pool;
+}
+
+ThreadPool::ThreadPool(int threads) {
+  size_ = threads >= 1 ? threads : default_threads();
+  // The submitting thread participates, so size_ workers need size_ - 1
+  // extra threads.
+  workers_.reserve(static_cast<std::size_t>(size_ - 1));
+  for (int i = 0; i < size_ - 1; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || (job_.generation != seen && job_.next < job_.n);
+    });
+    if (shutdown_) return;
+    seen = job_.generation;
+    while (job_.next < job_.n) {
+      std::size_t i = job_.next++;
+      const auto* fn = job_.fn;
+      lock.unlock();
+      tl_in_pool = true;
+      (*fn)(i);
+      tl_in_pool = false;
+      lock.lock();
+      if (--job_.pending == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Inline fast path: 1-thread pool, trivially small batch, or a nested
+  // call from inside pool work. Bit-identical by construction: the same fn
+  // runs over the same indices, only on one thread.
+  if (size_ <= 1 || n == 1 || tl_in_pool) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> submit(submit_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++job_.generation;
+    job_.n = n;
+    job_.fn = &fn;
+    job_.next = 0;
+    job_.pending = n;
+  }
+  work_cv_.notify_all();
+  // Participate, then wait for stragglers.
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (job_.next < job_.n) {
+    std::size_t i = job_.next++;
+    lock.unlock();
+    tl_in_pool = true;
+    fn(i);
+    tl_in_pool = false;
+    lock.lock();
+    if (--job_.pending == 0) done_cv_.notify_all();
+  }
+  done_cv_.wait(lock, [&] { return job_.pending == 0; });
+}
+
+ScopedThreads::ScopedThreads(int threads)
+    : saved_(g_override.exchange(threads, std::memory_order_relaxed)) {
+  FARM_CHECK_MSG(threads >= 1, "ScopedThreads needs >= 1 thread");
+}
+
+ScopedThreads::~ScopedThreads() {
+  g_override.store(saved_, std::memory_order_relaxed);
+}
+
+}  // namespace farm::util

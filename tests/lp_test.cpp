@@ -270,5 +270,83 @@ TEST(MilpTest, MatchesBruteForceOnRandomBinaryPrograms) {
   }
 }
 
+TEST(SimplexTest, TerminatesOnBealeCyclingExample) {
+  // Beale (1955): the classic LP on which Dantzig's rule cycles forever
+  // under naive tie-breaking. The stall counter must hand over to Bland's
+  // rule — and Bland's leaving-row ties must be exact, or the termination
+  // proof does not apply. Optimum -1/20 at x = (1/25, 0, 1, 0).
+  Model m;
+  m.set_maximize(false);
+  VarId x1 = m.add_continuous("x1", 0, kInf, -0.75);
+  VarId x2 = m.add_continuous("x2", 0, kInf, 150);
+  VarId x3 = m.add_continuous("x3", 0, kInf, -0.02);
+  VarId x4 = m.add_continuous("x4", 0, kInf, 6);
+  m.add_constraint("c1", {{x1, 0.25}, {x2, -60}, {x3, -0.04}, {x4, 9}},
+                   Sense::kLe, 0);
+  m.add_constraint("c2", {{x1, 0.5}, {x2, -90}, {x3, -0.02}, {x4, 3}},
+                   Sense::kLe, 0);
+  m.add_constraint("c3", {{x3, 1}}, Sense::kLe, 1);
+  LpOptions opt;
+  opt.max_iterations = 10000;  // cycling would exhaust this
+  auto s = solve_lp(m, opt);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -0.05, kTol);
+  EXPECT_NEAR(s.value(x1), 0.04, kTol);
+  EXPECT_NEAR(s.value(x3), 1, kTol);
+}
+
+TEST(SimplexTest, MassivelyDegenerateTiesStayFeasible) {
+  // Thirty copies of the same binding constraint make every ratio-test a
+  // 30-way tie. The old eps-window tie-break let best_ratio drift upward
+  // across chained near-ties, leaving slightly negative basics; the
+  // two-pass exact-minimum test must return a feasible optimum.
+  Model m;
+  std::vector<VarId> xs;
+  for (int j = 0; j < 6; ++j)
+    xs.push_back(m.add_continuous("x", 0, kInf, 1 + 0.01 * j));
+  for (int i = 0; i < 30; ++i) {
+    std::vector<Term> terms;
+    for (VarId x : xs) terms.push_back({x, 1.0});
+    m.add_constraint("cap", std::move(terms), Sense::kLe, 1);
+  }
+  auto s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 1.05, kTol);  // all weight on the best variable
+  double total = 0;
+  for (VarId x : xs) {
+    EXPECT_GE(s.value(x), -1e-9);  // no negative basics from ratio drift
+    total += s.value(x);
+  }
+  EXPECT_LE(total, 1 + 1e-6);
+}
+
+TEST(MilpTest, WarmStartObjectivePrunesWithoutChangingOptimum) {
+  // max 5a + 4b + 3c s.t. a+b+c <= 2 (binary) → optimum 9 (a, b).
+  Model m;
+  VarId a = m.add_binary("a", 5);
+  VarId b = m.add_binary("b", 4);
+  VarId c = m.add_binary("c", 3);
+  m.add_constraint("cap", {{a, 1}, {b, 1}, {c, 1}}, Sense::kLe, 2);
+
+  auto plain = solve_milp(m);
+  ASSERT_EQ(plain.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(plain.objective, 9, kTol);
+
+  // A warm start below the optimum must not cut off the true solution.
+  MilpOptions warm;
+  warm.warm_start_objective = 8.5;
+  auto s = solve_milp(m, warm);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 9, kTol);
+  EXPECT_LE(s.nodes_explored, plain.nodes_explored);
+
+  // A warm start AT the optimum prunes everything: no incumbent is found,
+  // which tells the caller its warm solution already wins.
+  MilpOptions tight;
+  tight.warm_start_objective = 9;
+  auto pruned = solve_milp(m, tight);
+  EXPECT_FALSE(pruned.feasible());
+}
+
 }  // namespace
 }  // namespace farm::lp

@@ -299,5 +299,38 @@ TEST(ValidateTest, DetectsPartialTask) {
   EXPECT_FALSE(validate_placement(p, r).empty());
 }
 
+TEST(HeuristicTest, InteractingMigrationsSkipMoveWhoseBenefitTurnsNegative) {
+  // Two seeds on small switches, one big switch both covet. Evaluated
+  // against the pre-migration state each move is worth +1.5; once the
+  // first is applied, the big switch is taken and the second move's
+  // *recomputed* benefit is -2. The apply loop must re-price each move
+  // against the evolving state and skip it — applying on the stale score
+  // would drop total utility from 5.5 to 3.5.
+  PlacementProblem p;
+  p.switches = {mk_switch(0, /*cpu=*/2), mk_switch(1, /*cpu=*/2),
+                mk_switch(2, /*cpu=*/3.5)};
+  p.seeds = {hh_seed("s1", "t1", {0, 2}), hh_seed("s2", "t2", {1, 2})};
+  p.current_placement["s1"] = 0;
+  p.current_placement["s2"] = 1;
+  p.current_alloc["s1"] = ResourcesValue{0.1, 10, 0, 0.1};
+  p.current_alloc["s2"] = ResourcesValue{0.1, 10, 0, 0.1};
+
+  auto r = solve_heuristic(p);
+  ASSERT_EQ(r.placements.size(), 2u);
+  EXPECT_TRUE(validate_placement(p, r).empty());
+  // Exactly one seed migrates to the big switch; the other must stay put.
+  EXPECT_NEAR(r.total_utility, 5.5, 1e-5);
+  int on_big = 0;
+  for (const auto& e2 : r.placements) on_big += e2.node == 2;
+  EXPECT_EQ(on_big, 1);
+
+  // Sanity: the migration pass is what earns the 1.5 — without it both
+  // seeds stay on their 2-vCPU switches.
+  HeuristicOptions no_migr;
+  no_migr.enable_migration_pass = false;
+  auto base = solve_heuristic(p, no_migr);
+  EXPECT_NEAR(base.total_utility, 4.0, 1e-5);
+}
+
 }  // namespace
 }  // namespace farm::placement

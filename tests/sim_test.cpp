@@ -230,5 +230,66 @@ TEST(ByteMeterTest, Accumulates) {
   EXPECT_DOUBLE_EQ(m.megabytes(), 0.0015);
 }
 
+TEST(EngineTest, CancelHeavyWorkloadKeepsHeapBounded) {
+  // Periodic components re-arm constantly: schedule + cancel in a loop.
+  // Lazy deletion alone grows the heap by one tombstone per cycle; the
+  // compaction must keep heap_size() within a small constant factor of the
+  // live count instead of the total cancel count.
+  Engine e;
+  for (int i = 0; i < 100000; ++i) {
+    EventId id = e.schedule_after(Duration::ms(100), [] {});
+    e.cancel(id);
+  }
+  EXPECT_EQ(e.pending_events(), 0u);
+  EXPECT_LT(e.heap_size(), 256u);
+}
+
+TEST(EngineTest, HeapStaysProportionalToLiveEventsUnderChurn) {
+  Engine e;
+  // A realistic mix: a standing population of live timers plus heavy
+  // cancel/re-arm churn on top of it.
+  std::vector<EventId> live;
+  for (int i = 0; i < 1000; ++i)
+    live.push_back(e.schedule_after(Duration::sec(60 + i), [] {}));
+  for (int round = 0; round < 50000; ++round) {
+    EventId id = e.schedule_after(Duration::ms(10), [] {});
+    e.cancel(id);
+  }
+  EXPECT_EQ(e.pending_events(), 1000u);
+  EXPECT_LT(e.heap_size(), 4096u);  // ≈ 4 × live, not 50k tombstones
+  // Compaction must not lose or reorder anything that is still live.
+  e.run();
+  EXPECT_EQ(e.executed_events(), 1000u);
+}
+
+TEST(EngineTest, RunUntilHonorsHorizonPastCancelledFrontEvent) {
+  // A cancelled tombstone at the heap front used to let run_until admit
+  // the next live event even when it lay beyond the horizon.
+  Engine e;
+  bool fired = false;
+  EventId early = e.schedule_after(Duration::ms(5), [] {});
+  e.schedule_after(Duration::ms(10), [&] { fired = true; });
+  e.cancel(early);
+  e.run_until(TimePoint::origin() + Duration::ms(7));
+  EXPECT_FALSE(fired);  // 10ms event must not run at a 7ms horizon
+  EXPECT_EQ(e.now(), TimePoint::origin() + Duration::ms(7));
+  e.run_until(TimePoint::origin() + Duration::ms(10));
+  EXPECT_TRUE(fired);
+}
+
+TEST(EngineTest, CancelAfterCompactionIsHarmless) {
+  Engine e;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 500; ++i)
+    ids.push_back(e.schedule_after(Duration::ms(i + 1), [] {}));
+  // Cancel most of them (forces at least one compaction)…
+  for (std::size_t i = 0; i < ids.size(); i += 2) e.cancel(ids[i]);
+  // …then cancel the same ids again: stale handles must stay no-ops.
+  for (std::size_t i = 0; i < ids.size(); i += 2) e.cancel(ids[i]);
+  EXPECT_EQ(e.pending_events(), 250u);
+  e.run();
+  EXPECT_EQ(e.executed_events(), 250u);
+}
+
 }  // namespace
 }  // namespace farm::sim
