@@ -1,9 +1,17 @@
 // almanac_tool — developer CLI for the Almanac toolchain.
 //
 //   almanac_tool check <file.alm>            parse + compile + analyze
+//   almanac_tool lint [--werror] <file.alm>  Sickle verification (gcc-style
+//                                            diagnostics; exit 1 on errors,
+//                                            and on warnings with --werror)
 //   almanac_tool xml <file.alm>              emit the XML seed image (§V-A d)
 //   almanac_tool dump-usecases <dir>         write the Table I programs as
 //                                            .alm files into <dir>
+//
+// `lint` resolves place directives against the default spine-leaf
+// deployment (4 spines × 16 leaves × 8 hosts) and scores resource
+// estimates against the default SwitchConfig (1024-entry monitoring TCAM,
+// 48 interfaces, 8 Mbps PCIe poll channel).
 //
 // `check` runs the full seeder front-end on every machine in the program:
 // compilation (inheritance, util restrictions), utility analysis
@@ -16,6 +24,7 @@
 #include <string>
 
 #include "almanac/analysis.h"
+#include "almanac/verify/verify.h"
 #include "almanac/xml.h"
 #include "farm/usecases.h"
 
@@ -87,6 +96,42 @@ int check(const std::string& path) {
   }
 }
 
+int lint(const std::string& path, bool werror) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  // Reference deployment for the topology-dependent passes.
+  net::SpineLeaf fabric = net::build_spine_leaf({});
+  net::SdnController controller(fabric.topo);
+  almanac::verify::VerifyOptions opts;
+  opts.controller = &controller;
+
+  std::vector<almanac::verify::Diagnostic> diags;
+  try {
+    auto program = almanac::parse_program(buf.str());
+    diags = almanac::verify::verify_program(program, opts);
+  } catch (const std::exception& e) {
+    // Parse errors preempt verification; report in the same shape.
+    std::fprintf(stderr, "%s: error: [PARSE] %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  for (const auto& d : diags)
+    std::fprintf(stderr, "%s\n", d.format(path).c_str());
+  std::size_t errors = almanac::verify::count_errors(diags);
+  std::size_t warnings = almanac::verify::count_warnings(diags);
+  if (!diags.empty())
+    std::fprintf(stderr, "%s: %zu error(s), %zu warning(s)\n", path.c_str(),
+                 errors, warnings);
+  if (errors > 0) return 1;
+  if (werror && warnings > 0) return 1;
+  return 0;
+}
+
 int emit_xml(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
@@ -128,11 +173,25 @@ int dump(const std::string& dir) {
 
 int main(int argc, char** argv) {
   if (argc == 3 && std::string(argv[1]) == "check") return check(argv[2]);
+  // `lint` and `--lint` are synonyms; `--werror` promotes warnings.
+  if (argc >= 3 &&
+      (std::string(argv[1]) == "lint" || std::string(argv[1]) == "--lint")) {
+    bool werror = false;
+    std::string file;
+    for (int i = 2; i < argc; ++i) {
+      if (std::string(argv[i]) == "--werror")
+        werror = true;
+      else
+        file = argv[i];
+    }
+    if (!file.empty()) return lint(file, werror);
+  }
   if (argc == 3 && std::string(argv[1]) == "xml") return emit_xml(argv[2]);
   if (argc == 3 && std::string(argv[1]) == "dump-usecases")
     return dump(argv[2]);
   std::fprintf(stderr,
                "usage: almanac_tool check <file.alm>\n"
+               "       almanac_tool lint [--werror] <file.alm>\n"
                "       almanac_tool xml <file.alm>\n"
                "       almanac_tool dump-usecases <dir>\n");
   return 2;

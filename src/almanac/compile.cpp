@@ -7,6 +7,17 @@ namespace farm::almanac {
 
 namespace {
 
+// Diagnostic codes of the compilation front-end (DESIGN.md §10). The
+// collecting compiler reports these; the throwing wrapper surfaces the
+// first as a CompileError.
+constexpr const char* kCodeBadHierarchy = "CM001";  // unknown machine/parent, cycle
+constexpr const char* kCodeVarShadow = "CM002";
+constexpr const char* kCodeNoStates = "CM003";
+constexpr const char* kCodeLocalShadow = "CM004";
+constexpr const char* kCodeUtilRestriction = "CM005";
+constexpr const char* kCodeBadTransit = "CM006";
+constexpr const char* kCodeTriggerInit = "CM007";
+
 // Signature used to decide whether a state-level event overrides a
 // machine-level one (same trigger shape).
 std::string event_signature(const EventDecl& ev) {
@@ -26,13 +37,13 @@ std::string event_signature(const EventDecl& ev) {
   return "?";
 }
 
-void check_util_expr(const Expr& e) {
+void check_util_expr(const Expr& e, verify::DiagnosticSink& sink) {
   switch (e.kind) {
     case Expr::Kind::kLiteral:
     case Expr::Kind::kVarRef:
       return;
     case Expr::Kind::kFieldAccess:
-      check_util_expr(*e.args[0]);
+      check_util_expr(*e.args[0], sink);
       return;
     case Expr::Kind::kBinary:
       switch (e.op) {
@@ -47,67 +58,97 @@ void check_util_expr(const Expr& e) {
         case BinOp::kDiv:
           break;
         default:
-          throw CompileError(
-              "operator '" + to_string(e.op) + "' is not allowed in util",
-              e.loc);
+          sink.error(kCodeUtilRestriction, e.loc,
+                     "operator '" + to_string(e.op) +
+                         "' is not allowed in util");
+          return;
       }
-      check_util_expr(*e.args[0]);
-      check_util_expr(*e.args[1]);
+      check_util_expr(*e.args[0], sink);
+      check_util_expr(*e.args[1], sink);
       return;
     case Expr::Kind::kCall:
       // §III-A f rule 3: only min and max.
-      if (e.name != "min" && e.name != "max" && e.name != "res")
-        throw CompileError("util may only call min/max (and read res)",
-                           e.loc);
-      for (const auto& a : e.args) check_util_expr(*a);
+      if (e.name != "min" && e.name != "max" && e.name != "res") {
+        sink.error(kCodeUtilRestriction, e.loc,
+                   "util may only call min/max (and read res)");
+        return;
+      }
+      for (const auto& a : e.args) check_util_expr(*a, sink);
       return;
     case Expr::Kind::kNot:
     case Expr::Kind::kFilterAtom:
     case Expr::Kind::kStructInit:
-      throw CompileError("construct not allowed inside util", e.loc);
+      sink.error(kCodeUtilRestriction, e.loc,
+                 "construct not allowed inside util");
   }
 }
 
-void check_util_actions(const std::vector<ActionPtr>& actions) {
+void check_util_actions(const std::vector<ActionPtr>& actions,
+                        verify::DiagnosticSink& sink) {
   for (const auto& a : actions) {
     switch (a->kind) {
       case Action::Kind::kIf:
-        check_util_expr(*a->expr);
-        check_util_actions(a->body);
-        check_util_actions(a->else_body);
+        check_util_expr(*a->expr, sink);
+        check_util_actions(a->body, sink);
+        check_util_actions(a->else_body, sink);
         break;
       case Action::Kind::kReturn:
-        if (a->expr) check_util_expr(*a->expr);
+        if (a->expr) check_util_expr(*a->expr, sink);
         break;
       default:
-        throw CompileError(
-            "util bodies may contain only if-then-else and return", a->loc);
+        sink.error(kCodeUtilRestriction, a->loc,
+                   "util bodies may contain only if-then-else and return");
     }
   }
 }
 
-}  // namespace
-
-void check_util_restrictions(const UtilityDecl& util) {
-  check_util_actions(util.body);
+// Throws the first error diagnostic (in report order) as a CompileError.
+void throw_first_error(const verify::DiagnosticSink& sink) {
+  for (const auto& d : sink.diagnostics())
+    if (d.severity == verify::Severity::kError)
+      throw CompileError(d.message, d.loc);
 }
 
-CompiledMachine compile_machine(const Program& program,
-                                const std::string& machine_name) {
-  // Resolve the inheritance chain, base-most first.
+}  // namespace
+
+void check_util_restrictions_collect(const UtilityDecl& util,
+                                     verify::DiagnosticSink& sink) {
+  check_util_actions(util.body, sink);
+}
+
+void check_util_restrictions(const UtilityDecl& util) {
+  verify::DiagnosticSink sink;
+  check_util_restrictions_collect(util, sink);
+  throw_first_error(sink);
+}
+
+std::optional<CompiledMachine> compile_machine_collect(
+    const Program& program, const std::string& machine_name,
+    verify::DiagnosticSink& sink) {
+  // Resolve the inheritance chain, base-most first. Hierarchy problems are
+  // unrecoverable: without the chain there is nothing to flatten.
   std::vector<const MachineDecl*> chain;
   std::unordered_set<std::string> seen;
   const MachineDecl* m = program.machine(machine_name);
-  if (!m)
-    throw CompileError("unknown machine: " + machine_name, SourceLoc{});
+  if (!m) {
+    sink.error(kCodeBadHierarchy, SourceLoc{},
+               "unknown machine: " + machine_name);
+    return std::nullopt;
+  }
   while (m) {
-    if (!seen.insert(m->name).second)
-      throw CompileError("inheritance cycle involving " + m->name, m->loc);
+    if (!seen.insert(m->name).second) {
+      sink.error(kCodeBadHierarchy, m->loc,
+                 "inheritance cycle involving " + m->name);
+      return std::nullopt;
+    }
     chain.push_back(m);
     if (m->extends.empty()) break;
     const MachineDecl* parent = program.machine(m->extends);
-    if (!parent)
-      throw CompileError("unknown parent machine: " + m->extends, m->loc);
+    if (!parent) {
+      sink.error(kCodeBadHierarchy, m->loc,
+                 "unknown parent machine: " + m->extends);
+      return std::nullopt;
+    }
     m = parent;
   }
   std::reverse(chain.begin(), chain.end());
@@ -116,14 +157,19 @@ CompiledMachine compile_machine(const Program& program,
   out.name = machine_name;
   out.program = &program;
 
-  // Variables: no overriding or shadowing across the chain (§III-A a).
+  // Variables: no overriding or shadowing across the chain (§III-A a). A
+  // shadowing declaration is dropped (the inherited one stays visible) so
+  // later passes still see a consistent variable table.
   std::unordered_set<std::string> var_names;
   for (const auto* mc : chain)
     for (const auto& v : mc->vars) {
-      if (!var_names.insert(v.name).second)
-        throw CompileError(
-            "variable '" + v.name + "' overrides/shadows an inherited one",
-            v.loc);
+      if (!var_names.insert(v.name).second) {
+        sink.error(kCodeVarShadow, v.loc,
+                   "variable '" + v.name +
+                       "' overrides/shadows an inherited one",
+                   "rename the variable; inherited variables stay visible");
+        continue;
+      }
       out.vars.push_back(&v);
     }
 
@@ -156,9 +202,11 @@ CompiledMachine compile_machine(const Program& program,
       else
         states.emplace_back(st.name, &st);
     }
-  if (states.empty())
-    throw CompileError("machine has no states: " + machine_name,
-                       chain.back()->loc);
+  if (states.empty()) {
+    sink.error(kCodeNoStates, chain.back()->loc,
+               "machine has no states: " + machine_name);
+    return std::nullopt;
+  }
   out.initial_state = states.front().first;
 
   std::unordered_set<std::string> state_names;
@@ -170,9 +218,12 @@ CompiledMachine compile_machine(const Program& program,
     cs.decl = decl;
     cs.util = decl->util ? &*decl->util : nullptr;
     for (const auto& l : decl->locals) {
-      if (var_names.count(l.name))
-        throw CompileError(
-            "state local '" + l.name + "' shadows a machine variable", l.loc);
+      if (var_names.count(l.name)) {
+        sink.error(kCodeLocalShadow, l.loc,
+                   "state local '" + l.name + "' shadows a machine variable",
+                   "rename the state local");
+        continue;
+      }
       cs.locals.push_back(&l);
     }
     std::unordered_set<std::string> sigs;
@@ -182,7 +233,7 @@ CompiledMachine compile_machine(const Program& program,
     }
     for (const auto* ev : machine_events)
       if (!sigs.count(event_signature(*ev))) cs.events.push_back(ev);
-    if (cs.util) check_util_restrictions(*cs.util);
+    if (cs.util) check_util_restrictions_collect(*cs.util, sink);
     out.states.push_back(std::move(cs));
   }
 
@@ -193,9 +244,9 @@ CompiledMachine compile_machine(const Program& program,
       if (a->kind == Action::Kind::kTransit && a->expr &&
           a->expr->kind == Expr::Kind::kVarRef &&
           !state_names.count(a->expr->name) && !out.var(a->expr->name)) {
-        throw CompileError("transit target '" + a->expr->name +
-                               "' is neither a state nor a variable",
-                           a->loc);
+        sink.error(kCodeBadTransit, a->loc,
+                   "transit target '" + a->expr->name +
+                       "' is neither a state nor a variable");
       }
       self(a->body, self);
       self(a->else_body, self);
@@ -209,11 +260,20 @@ CompiledMachine compile_machine(const Program& program,
   // the seeder can analyze polling statically (§III-B c).
   for (const auto* v : out.vars)
     if (v->trigger && *v->trigger != TriggerType::kTime && !v->init)
-      throw CompileError(
-          "poll/probe variable '" + v->name + "' needs an initializer",
-          v->loc);
+      sink.error(kCodeTriggerInit, v->loc,
+                 "poll/probe variable '" + v->name + "' needs an initializer",
+                 "declare it as  poll " + v->name + " = Poll { .ival = ... }");
 
   return out;
+}
+
+CompiledMachine compile_machine(const Program& program,
+                                const std::string& machine_name) {
+  verify::DiagnosticSink sink;
+  auto cm = compile_machine_collect(program, machine_name, sink);
+  throw_first_error(sink);
+  // No errors ⇒ the collecting compiler produced a machine.
+  return std::move(*cm);
 }
 
 }  // namespace farm::almanac

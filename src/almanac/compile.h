@@ -12,11 +12,13 @@
 // CompiledMachine borrows AST nodes from the Program, which must outlive it.
 #pragma once
 
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "almanac/ast.h"
+#include "almanac/verify/diagnostics.h"
 
 namespace farm::almanac {
 
@@ -73,13 +75,27 @@ struct CompiledMachine {
   }
 };
 
-// Compiles one machine of the program. Throws CompileError on semantic
-// violations (inheritance cycles, shadowed variables, invalid util bodies,
-// unknown transit targets, …).
+// Compiles one machine of the program, collecting *all* semantic
+// violations into `sink` instead of stopping at the first (diagnostic
+// codes CM001..CM007). Recoverable violations (shadowed variables, bad
+// util bodies, unknown transit targets, missing poll initializers) leave a
+// usable partial machine behind; unrecoverable ones (unknown machine,
+// inheritance cycle, no states) return nullopt. Callers that gate on
+// correctness should check sink.has_errors() rather than the optional.
+std::optional<CompiledMachine> compile_machine_collect(
+    const Program& program, const std::string& machine_name,
+    verify::DiagnosticSink& sink);
+
+// Throwing wrapper preserved for existing callers: compiles and throws a
+// CompileError for the first (source-ordered) error diagnostic.
 CompiledMachine compile_machine(const Program& program,
                                 const std::string& machine_name);
 
 // Validates a util body against §III-A f. Exposed for direct testing.
+// The collecting form reports every violation; the throwing form raises
+// the first.
 void check_util_restrictions(const UtilityDecl& util);
+void check_util_restrictions_collect(const UtilityDecl& util,
+                                     verify::DiagnosticSink& sink);
 
 }  // namespace farm::almanac

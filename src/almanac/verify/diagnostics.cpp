@@ -1,0 +1,46 @@
+#include "almanac/verify/diagnostics.h"
+
+#include <algorithm>
+
+namespace farm::almanac::verify {
+
+std::string to_string(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::format(const std::string& file) const {
+  std::string out;
+  if (!file.empty()) out += file + ":";
+  out += std::to_string(loc.line) + ":" + std::to_string(loc.column) + ": ";
+  out += to_string(severity) + ": [" + code + "] " + message;
+  if (!hint.empty()) out += " (hint: " + hint + ")";
+  return out;
+}
+
+std::size_t DiagnosticSink::count(Severity s) const {
+  std::size_t n = 0;
+  for (const auto& d : diags_)
+    if (d.severity == s) ++n;
+  return n;
+}
+
+std::vector<Diagnostic> DiagnosticSink::take_sorted() {
+  std::stable_sort(diags_.begin(), diags_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.loc.line != b.loc.line) return a.loc.line < b.loc.line;
+                     if (a.loc.column != b.loc.column)
+                       return a.loc.column < b.loc.column;
+                     return a.code < b.code;
+                   });
+  return std::move(diags_);
+}
+
+}  // namespace farm::almanac::verify

@@ -1,0 +1,70 @@
+// Sickle diagnostics engine.
+//
+// Static verification is only useful when one run reports *all* the
+// problems of a program, so Sickle's passes never throw: they report into
+// a DiagnosticSink and keep going. Each Diagnostic carries a stable code
+// (table in DESIGN.md §10), a severity, the source location, the message,
+// and an optional hint suggesting the fix. The sink orders diagnostics by
+// source position so output is deterministic regardless of pass order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "almanac/ast.h"
+
+namespace farm::almanac::verify {
+
+enum class Severity { kNote, kWarning, kError };
+
+std::string to_string(Severity s);
+
+struct Diagnostic {
+  std::string code;  // stable identifier, e.g. "SG001"
+  Severity severity = Severity::kWarning;
+  SourceLoc loc;
+  std::string message;
+  std::string hint;  // optional "consider ..." suggestion; may be empty
+
+  // gcc-style one-liner: "file:line:col: severity: [CODE] message".
+  // `file` may be empty (omits the leading path; keeps line:col).
+  std::string format(const std::string& file = "") const;
+};
+
+class DiagnosticSink {
+ public:
+  void report(std::string code, Severity severity, SourceLoc loc,
+              std::string message, std::string hint = "") {
+    diags_.push_back(Diagnostic{std::move(code), severity, loc,
+                                std::move(message), std::move(hint)});
+  }
+  void error(std::string code, SourceLoc loc, std::string message,
+             std::string hint = "") {
+    report(std::move(code), Severity::kError, loc, std::move(message),
+           std::move(hint));
+  }
+  void warning(std::string code, SourceLoc loc, std::string message,
+               std::string hint = "") {
+    report(std::move(code), Severity::kWarning, loc, std::move(message),
+           std::move(hint));
+  }
+  void note(std::string code, SourceLoc loc, std::string message,
+            std::string hint = "") {
+    report(std::move(code), Severity::kNote, loc, std::move(message),
+           std::move(hint));
+  }
+
+  bool has_errors() const { return count(Severity::kError) > 0; }
+  std::size_t count(Severity s) const;
+  bool empty() const { return diags_.empty(); }
+  std::size_t size() const { return diags_.size(); }
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+  // Stable sort by (line, column, code) and hand the collection over.
+  std::vector<Diagnostic> take_sorted();
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace farm::almanac::verify

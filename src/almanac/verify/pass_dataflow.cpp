@@ -1,0 +1,199 @@
+// Sickle pass DF: dataflow over handler bodies.
+//
+//   DF001  use of a block-local scalar before it was ever assigned
+//          (definite-assignment scan: a branch only initializes when both
+//          arms do; while bodies may run zero times).
+//   DF002  write to an external variable outside a recv handler. External
+//          variables are the operator's knobs (§III-A a): the sanctioned
+//          update path is a harvester message, i.e. an assignment inside
+//          `when (recv ...)`. Any other write silently fights the operator.
+//   DF003  write to a poll/probe trigger variable: legal at runtime (the
+//          soil re-arms the timer) but it invalidates the *static* poll
+//          analysis the placement was computed from, so it deserves a
+//          warning.
+//   DF004  machine/state variable that is never read anywhere — dead
+//          state that costs snapshot/migration bytes on every move.
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "almanac/verify/passes.h"
+
+namespace farm::almanac::verify {
+
+namespace {
+
+bool is_scalar(TypeName t) {
+  return t == TypeName::kBool || t == TypeName::kInt ||
+         t == TypeName::kLong || t == TypeName::kFloat;
+}
+
+// --- DF001: definite assignment within one handler --------------------------
+
+struct InitScan {
+  DiagnosticSink& sink;
+  // Block-local scalars declared without initializer, not yet definitely
+  // assigned, mapped to their declaration site.
+  std::map<std::string, SourceLoc> uninit;
+  std::set<std::string> reported;
+
+  void read(const Expr& e) {
+    walk_expr(e, [&](const Expr& x) {
+      if (x.kind != Expr::Kind::kVarRef) return;
+      auto it = uninit.find(x.name);
+      if (it == uninit.end() || !reported.insert(x.name).second) return;
+      sink.warning(codes::kUseBeforeInit, x.loc,
+                   "variable '" + x.name + "' (declared at " +
+                       it->second.to_string() +
+                       ") may be read before it is assigned",
+                   "give the declaration an initializer");
+    });
+  }
+
+  void run(const std::vector<ActionPtr>& actions) {
+    for (const auto& a : actions) {
+      switch (a->kind) {
+        case Action::Kind::kDeclare:
+          if (a->expr) {
+            read(*a->expr);
+            uninit.erase(a->target);
+          } else if (is_scalar(a->decl_type)) {
+            uninit.emplace(a->target, a->loc);
+          }
+          break;
+        case Action::Kind::kAssign:
+          if (a->expr) read(*a->expr);
+          uninit.erase(a->target);
+          break;
+        case Action::Kind::kIf: {
+          if (a->expr) read(*a->expr);
+          InitScan then_scan{sink, uninit, reported};
+          then_scan.run(a->body);
+          InitScan else_scan{sink, uninit, then_scan.reported};
+          else_scan.run(a->else_body);
+          reported = std::move(else_scan.reported);
+          // Definitely assigned only when both arms assigned.
+          for (auto it = uninit.begin(); it != uninit.end();) {
+            if (!then_scan.uninit.count(it->first) &&
+                !else_scan.uninit.count(it->first))
+              it = uninit.erase(it);
+            else
+              ++it;
+          }
+          break;
+        }
+        case Action::Kind::kWhile: {
+          if (a->expr) read(*a->expr);
+          // Zero-iteration possibility: scan the body for reads, but keep
+          // this scope's uninit set untouched.
+          InitScan body_scan{sink, uninit, reported};
+          body_scan.run(a->body);
+          reported = std::move(body_scan.reported);
+          break;
+        }
+        default:
+          if (a->expr) read(*a->expr);
+          if (a->to_dst) read(*a->to_dst);
+          break;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void pass_dataflow(const CompiledMachine& m, const VerifyOptions&,
+                   DiagnosticSink& sink) {
+  // Machine-level handlers are shared by every state in the flattened
+  // view; analyze each EventDecl once.
+  std::unordered_set<const EventDecl*> seen;
+  std::vector<const EventDecl*> handlers;
+  for (const auto& s : m.states)
+    for (const auto* ev : s.events)
+      if (seen.insert(ev).second) handlers.push_back(ev);
+
+  for (const auto* ev : handlers) {
+    // DF001.
+    InitScan scan{sink, {}, {}};
+    scan.run(ev->actions);
+
+    // DF002 / DF003: write targets.
+    walk_actions(ev->actions, [&](const Action& a) {
+      if (a.kind != Action::Kind::kAssign) return;
+      const VarDecl* v = m.var(a.target);
+      if (!v) return;
+      if (v->external && ev->kind != EventDecl::TriggerKind::kRecv) {
+        sink.error(codes::kWriteExternal, a.loc,
+                   "write to external variable '" + a.target +
+                       "' outside a recv handler; externals are "
+                       "operator-owned and updated via harvester messages",
+                   "use a machine variable, or move the update into a "
+                   "when (recv ...) handler");
+      }
+      if (v->trigger && (*v->trigger == TriggerType::kPoll ||
+                         *v->trigger == TriggerType::kProbe)) {
+        sink.warning(codes::kWriteTrigger, a.loc,
+                     "assignment to " + to_string(*v->trigger) +
+                         " variable '" + a.target +
+                         "' replaces its spec at runtime; the placement "
+                         "was computed from the static initializer",
+                     "prefer encoding the schedule in the initializer so "
+                     "the optimizer can account for it");
+      }
+    });
+  }
+
+  // DF004: reads/writes across every handler and every reachable function
+  // (function bodies over-approximate: a same-named parameter counts as a
+  // read of the machine variable, erring toward silence).
+  std::unordered_set<std::string> read_names;
+  std::unordered_set<std::string> written_names;
+  auto scan_body = [&](const std::vector<ActionPtr>& body) {
+    walk_actions(body, [&](const Action& a) {
+      if ((a.kind == Action::Kind::kAssign ||
+           a.kind == Action::Kind::kDeclare) &&
+          !a.target.empty())
+        written_names.insert(a.target);
+      walk_action_exprs(a, [&](const Expr& e) {
+        if (e.kind == Expr::Kind::kVarRef) read_names.insert(e.name);
+      });
+    });
+  };
+  std::unordered_set<std::string> funcs;
+  for (const auto* ev : handlers) {
+    scan_body(ev->actions);
+    for (const auto& f : reachable_functions(*m.program, ev->actions))
+      funcs.insert(f);
+  }
+  for (const auto& fname : funcs)
+    if (const FuncDecl* f = m.program->function(fname)) scan_body(f->body);
+
+  auto report_never_read = [&](const VarDecl& v, const std::string& kind) {
+    if (v.trigger) return;  // poll/probe consumption is HD003's business
+    if (read_names.count(v.name)) return;
+    std::string what = written_names.count(v.name)
+                           ? "' is written but never read"
+                           : "' is never used";
+    sink.warning(codes::kNeverRead, v.loc,
+                 kind + " '" + v.name + what,
+                 "remove the variable; dead state still costs snapshot "
+                 "and migration bytes");
+  };
+  // Only vars the most-derived machine declares itself: an inherited
+  // variable is typically consumed by base-machine states the child may
+  // have overridden — the base machine gets its own diagnostic if the
+  // variable is genuinely dead.
+  const MachineDecl* own = m.program->machine(m.name);
+  for (const auto* v : m.vars) {
+    bool own_decl = false;
+    if (own)
+      for (const auto& d : own->vars)
+        if (&d == v) own_decl = true;
+    if (own_decl)
+      report_never_read(*v, v->external ? "external variable" : "variable");
+  }
+  for (const auto& s : m.states)
+    for (const auto* l : s.locals) report_never_read(*l, "state local");
+}
+
+}  // namespace farm::almanac::verify

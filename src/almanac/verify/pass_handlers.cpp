@@ -1,0 +1,129 @@
+// Sickle pass HD: event-handler overlap and determinism.
+//
+// Inheritance flattening (compile.cpp) resolves *cross*-level conflicts —
+// state handlers override machine handlers, child machines override
+// parents. What it silently tolerates are duplicates at the *same* level:
+// two `when (enter)` blocks in one state, or two machine-level handlers
+// with the same signature in the same machine (the later one wins without
+// a trace). Both make dispatch order-dependent, so Sickle flags them.
+// It also checks that `when (x as y)` handlers name actual trigger
+// variables — a handler on a plain variable can never fire — and that
+// poll/probe variables are handled somewhere (unconsumed polls burn PCIe
+// bandwidth for nothing).
+#include <unordered_map>
+
+#include "almanac/verify/passes.h"
+
+namespace farm::almanac::verify {
+
+namespace {
+
+// Mirrors compile.cpp's overriding signature.
+std::string event_signature(const EventDecl& ev) {
+  switch (ev.kind) {
+    case EventDecl::TriggerKind::kEnter:
+      return "enter";
+    case EventDecl::TriggerKind::kExit:
+      return "exit";
+    case EventDecl::TriggerKind::kRealloc:
+      return "realloc";
+    case EventDecl::TriggerKind::kVarTrigger:
+      return "var:" + ev.var;
+    case EventDecl::TriggerKind::kRecv:
+      return "recv:" + to_string(ev.recv_type) + ":" +
+             (ev.from_harvester ? "harvester" : ev.from_machine);
+  }
+  return "?";
+}
+
+std::string describe_signature(const EventDecl& ev) {
+  switch (ev.kind) {
+    case EventDecl::TriggerKind::kEnter:
+      return "when (enter)";
+    case EventDecl::TriggerKind::kExit:
+      return "when (exit)";
+    case EventDecl::TriggerKind::kRealloc:
+      return "when (realloc)";
+    case EventDecl::TriggerKind::kVarTrigger:
+      return "when (" + ev.var + " ...)";
+    case EventDecl::TriggerKind::kRecv:
+      return "when (recv " + to_string(ev.recv_type) + " ... from " +
+             (ev.from_harvester ? "harvester" : ev.from_machine) + ")";
+  }
+  return "?";
+}
+
+void check_duplicates(const std::vector<EventDecl>& events,
+                      const std::string& scope, DiagnosticSink& sink) {
+  std::unordered_map<std::string, const EventDecl*> seen;
+  for (const auto& ev : events) {
+    auto [it, inserted] = seen.emplace(event_signature(ev), &ev);
+    if (inserted) continue;
+    sink.error(codes::kDuplicateHandler, ev.loc,
+               "duplicate handler " + describe_signature(ev) + " in " +
+                   scope + " (first declared at " +
+                   it->second->loc.to_string() +
+                   "); dispatch would be nondeterministic",
+               "merge the two handler bodies");
+  }
+}
+
+}  // namespace
+
+void pass_handlers(const CompiledMachine& m, const VerifyOptions&,
+                   DiagnosticSink& sink) {
+  // Same-level duplicates, per declaration (walk the inheritance chain the
+  // same way the compiler did; CompiledMachine's flattened view has
+  // already dropped them).
+  const MachineDecl* decl = m.program->machine(m.name);
+  std::unordered_set<std::string> visited;
+  while (decl && visited.insert(decl->name).second) {
+    check_duplicates(decl->machine_events, "machine '" + decl->name + "'",
+                     sink);
+    for (const auto& st : decl->states)
+      check_duplicates(st.events, "state '" + st.name + "'", sink);
+    decl = decl->extends.empty() ? nullptr : m.program->machine(decl->extends);
+  }
+
+  // Handlers must reference declared trigger variables.
+  for (const auto& s : m.states) {
+    for (const auto* ev : s.events) {
+      if (ev->kind != EventDecl::TriggerKind::kVarTrigger) continue;
+      const VarDecl* v = m.var(ev->var);
+      if (!v)
+        sink.error(codes::kUnknownTriggerVar, ev->loc,
+                   "handler in state '" + s.name +
+                       "' waits on unknown variable '" + ev->var + "'",
+                   "declare it as a poll/probe/trigger variable");
+      else if (!v->trigger)
+        sink.error(codes::kUnknownTriggerVar, ev->loc,
+                   "handler in state '" + s.name + "' waits on '" + ev->var +
+                       "', which is not a trigger variable; it can never fire",
+                   "declare '" + ev->var + "' with poll/probe/trigger");
+    }
+  }
+
+  // Poll/probe variables that no state ever handles.
+  for (const auto* v : m.vars) {
+    if (!v->trigger || *v->trigger == TriggerType::kTime) continue;
+    bool handled = false;
+    for (const auto& s : m.states) {
+      for (const auto* ev : s.events)
+        if (ev->kind == EventDecl::TriggerKind::kVarTrigger &&
+            ev->var == v->name) {
+          handled = true;
+          break;
+        }
+      if (handled) break;
+    }
+    if (!handled)
+      sink.warning(codes::kUnhandledTrigger, v->loc,
+                   to_string(*v->trigger) + " variable '" + v->name +
+                       "' is never handled by any state; its polling "
+                       "bandwidth is wasted",
+                   "add a  when (" + v->name +
+                       " as ...) do {...}  handler or remove the variable");
+  }
+}
+
+}  // namespace farm::almanac::verify

@@ -1,0 +1,184 @@
+// Sickle pass RS/PO: static resource estimation against switch capacity.
+//
+// A single seed must fit one switch. Two budgets can be bounded without
+// running anything:
+//
+//   TCAM — count addTCAMRule call sites reachable from any handler of any
+//   state (rules persist across transitions, so the worst case is the sum
+//   over all states). A call site inside a `while` loop is scored at
+//   max_ifaces installs (the canonical loop bound: one rule per polled
+//   interface), nested loops multiply. RS001 when the estimate exceeds
+//   the monitoring TCAM region a switch reserves for seeds.
+//
+//   PCIe — analyze_polls gives 1/ival as a polynomial in the allocation;
+//   the per-poll transfer is entries × kStatEntryBytes. The worst-case
+//   rate (evaluated at the reference allocation and at a full-PCIe-budget
+//   allocation, whichever is higher) must stay inside the 8 Mbps poll
+//   channel (RS002), and a single seed demanding more than
+//   pcie_warn_fraction of it is flagged early (RS003).
+//
+// Poll shape problems surface here too, because this pass is the one
+// running analyze_polls: PO001 when the analysis rejects the spec
+// outright, PO002 when a non-inverse-linear ival silently degrades to a
+// constant evaluated at the reference allocation (§III-B c).
+#include <cmath>
+#include <cstdio>
+
+#include "almanac/analysis.h"
+#include "almanac/verify/passes.h"
+#include "net/filter.h"
+
+namespace farm::almanac::verify {
+
+namespace {
+
+// Per-poll transfer size on the wire; mirrors asic/pcie.cpp's accounting
+// (kStatEntryBytes per polled entry). Kept as a literal so farm_almanac
+// does not grow a dependency on sim/cost_model.h.
+constexpr double kPollEntryBytes = 16;
+
+// Worst-case addTCAMRule installs of one action list, loop-scored.
+// `depth_mult` carries the product of enclosing loop bounds.
+double tcam_weight(const Program& program,
+                   const std::vector<ActionPtr>& actions, double depth_mult,
+                   int loop_bound,
+                   std::unordered_set<std::string>& in_progress);
+
+double tcam_expr_weight(const Program& program, const Expr& e,
+                        double depth_mult, int loop_bound,
+                        std::unordered_set<std::string>& in_progress) {
+  double w = 0;
+  walk_expr(e, [&](const Expr& x) {
+    if (x.kind != Expr::Kind::kCall) return;
+    if (x.name == "addTCAMRule") {
+      w += depth_mult;
+    } else if (const FuncDecl* f = program.function(x.name)) {
+      // Recursion guard: a cycle contributes no additional installs.
+      if (in_progress.insert(x.name).second) {
+        w += tcam_weight(program, f->body, depth_mult, loop_bound,
+                         in_progress);
+        in_progress.erase(x.name);
+      }
+    }
+  });
+  return w;
+}
+
+double tcam_weight(const Program& program,
+                   const std::vector<ActionPtr>& actions, double depth_mult,
+                   int loop_bound,
+                   std::unordered_set<std::string>& in_progress) {
+  double w = 0;
+  for (const auto& a : actions) {
+    double mult = depth_mult;
+    if (a->kind == Action::Kind::kWhile) mult *= loop_bound;
+    if (a->expr)
+      w += tcam_expr_weight(program, *a->expr, mult, loop_bound, in_progress);
+    if (a->to_dst)
+      w += tcam_expr_weight(program, *a->to_dst, mult, loop_bound,
+                            in_progress);
+    w += tcam_weight(program, a->body, mult, loop_bound, in_progress);
+    w += tcam_weight(program, a->else_body, depth_mult, loop_bound,
+                     in_progress);
+  }
+  return w;
+}
+
+}  // namespace
+
+void pass_resources(const CompiledMachine& m, const VerifyOptions& opts,
+                    DiagnosticSink& sink) {
+  // --- TCAM ------------------------------------------------------------------
+  std::unordered_set<const EventDecl*> seen;
+  double rules = 0;
+  for (const auto& s : m.states)
+    for (const auto* ev : s.events)
+      if (seen.insert(ev).second) {
+        std::unordered_set<std::string> guard;
+        rules += tcam_weight(*m.program, ev->actions, 1.0, opts.max_ifaces,
+                             guard);
+      }
+  if (rules > opts.tcam_monitoring_capacity) {
+    SourceLoc loc;
+    if (const MachineDecl* d = m.program->machine(m.name)) loc = d->loc;
+    sink.error(codes::kTcamOverflow, loc,
+               "machine '" + m.name + "' can install ~" +
+                   std::to_string(static_cast<long long>(rules)) +
+                   " TCAM rules (loops scored at " +
+                   std::to_string(opts.max_ifaces) +
+                   " iterations), exceeding the " +
+                   std::to_string(opts.tcam_monitoring_capacity) +
+                   "-entry monitoring region of a single switch",
+               "bound rule installs (dedup via getTCAMRule, or aggregate "
+               "per prefix instead of per interface)");
+  }
+
+  // --- Polls / PCIe ----------------------------------------------------------
+  Env env = build_machine_env(m, opts);
+  std::vector<PollAnalysis> polls;
+  try {
+    polls = analyze_polls(m, env, opts.reference_alloc);
+  } catch (const CompileError& e) {
+    sink.error(codes::kPollNotAnalyzable, e.loc(),
+               std::string("poll analysis failed: ") + e.what(),
+               "give the poll a Poll { .ival = <positive>, .what = ... } "
+               "initializer the seeder can evaluate statically");
+    return;
+  } catch (const EvalError& e) {
+    sink.error(codes::kPollNotAnalyzable, e.loc(),
+               std::string("poll analysis failed: ") + e.what());
+    return;
+  }
+
+  double total_mbps = 0;
+  for (const auto& pa : polls) {
+    const VarDecl* v = m.var(pa.var);
+    const SourceLoc loc = v ? v->loc : SourceLoc{};
+    if (!pa.inv_linear)
+      sink.warning(codes::kPollNonlinearIval, loc,
+                   "ival of " + to_string(pa.ttype) + " variable '" + pa.var +
+                       "' is not inverse-linear in the allocation; the "
+                       "optimizer falls back to a constant rate sampled at "
+                       "the reference allocation",
+                   "use a constant or the  c / res().X  form so the rate "
+                   "scales with the granted resources");
+
+    int fp = pa.what.iface_footprint();
+    int entries = fp == net::Filter::kAllIfaces ? opts.max_ifaces
+                  : fp > 0                      ? fp
+                                                : 1;
+    // Worst-case poll rate: the allocation-dependent rate grows with the
+    // grant, and a seed can be granted at most the whole poll budget on
+    // the PCIe axis.
+    ResourcesValue generous = opts.reference_alloc;
+    generous.PCIe = opts.pcie_budget_mbps;
+    double inv = std::max(pa.inv_ival.eval(opts.reference_alloc),
+                          pa.inv_ival.eval(generous));
+    if (inv <= 0) continue;  // analyze_polls already guarantees positivity
+    total_mbps += inv * entries * kPollEntryBytes * 8.0 / 1e6;
+  }
+  if (polls.empty() || total_mbps <= 0) return;
+  SourceLoc loc = m.var(polls.front().var) ? m.var(polls.front().var)->loc
+                                           : SourceLoc{};
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f", total_mbps);
+  if (total_mbps > opts.pcie_budget_mbps) {
+    sink.error(codes::kPcieOverBudget, loc,
+               "machine '" + m.name + "' statically needs " + buf +
+                   " Mbps of poll bandwidth, over the " +
+                   std::to_string(static_cast<int>(opts.pcie_budget_mbps)) +
+                   " Mbps PCIe poll channel of a single switch",
+               "raise the ival, narrow .what, or split the machine");
+  } else if (total_mbps > opts.pcie_warn_fraction * opts.pcie_budget_mbps) {
+    sink.warning(codes::kPcieNearBudget, loc,
+                 "machine '" + m.name + "' statically needs " + buf +
+                     " Mbps of poll bandwidth — more than " +
+                     std::to_string(static_cast<int>(
+                         opts.pcie_warn_fraction * 100)) +
+                     "% of a switch's PCIe poll channel, leaving little "
+                     "room for co-located seeds",
+                 "consider a longer ival or a narrower .what filter");
+  }
+}
+
+}  // namespace farm::almanac::verify

@@ -1,0 +1,119 @@
+// Sickle pass SG: state-graph analysis.
+//
+// Builds the static transition graph of the machine: an edge s→t for every
+// `transit t` (bare state identifier or string literal) reachable from one
+// of s's handlers, including transits buried in user functions the handler
+// calls. `transit <expr>` with a dynamic target (a variable holding the
+// state name) cannot be resolved statically; such states are treated as
+// possibly reaching *every* state, which suppresses the reachability
+// warnings rather than producing false positives.
+#include <deque>
+#include <unordered_map>
+
+#include "almanac/verify/passes.h"
+
+namespace farm::almanac::verify {
+
+namespace {
+
+struct StateEdges {
+  std::unordered_set<std::string> targets;
+  bool dynamic = false;  // at least one transit with a non-static target
+};
+
+// Static transit targets appearing in `actions` plus any function bodies
+// reachable from them.
+void collect_transits(const Program& program,
+                      const std::vector<ActionPtr>& actions,
+                      const std::unordered_set<std::string>& state_names,
+                      StateEdges& edges) {
+  auto scan = [&](const std::vector<ActionPtr>& body) {
+    walk_actions(body, [&](const Action& a) {
+      if (a.kind != Action::Kind::kTransit || !a.expr) return;
+      const Expr& e = *a.expr;
+      if (e.kind == Expr::Kind::kVarRef && state_names.count(e.name)) {
+        edges.targets.insert(e.name);
+      } else if (e.kind == Expr::Kind::kLiteral && e.literal.is_string() &&
+                 state_names.count(e.literal.as_string())) {
+        edges.targets.insert(e.literal.as_string());
+      } else {
+        edges.dynamic = true;
+      }
+    });
+  };
+  scan(actions);
+  for (const auto& fname : reachable_functions(program, actions)) {
+    const FuncDecl* f = program.function(fname);
+    if (f) scan(f->body);
+  }
+}
+
+}  // namespace
+
+void pass_state_graph(const CompiledMachine& m, const VerifyOptions&,
+                      DiagnosticSink& sink) {
+  std::unordered_set<std::string> state_names;
+  for (const auto& s : m.states) state_names.insert(s.name);
+
+  std::unordered_map<std::string, StateEdges> graph;
+  bool any_dynamic = false;
+  for (const auto& s : m.states) {
+    StateEdges edges;
+    for (const auto* ev : s.events)
+      collect_transits(*m.program, ev->actions, state_names, edges);
+    any_dynamic = any_dynamic || edges.dynamic;
+    graph.emplace(s.name, std::move(edges));
+  }
+
+  // Reachability from the initial state over static edges. A dynamic
+  // transit anywhere makes every state potentially reachable.
+  std::unordered_set<std::string> reachable;
+  std::deque<std::string> work{m.initial_state};
+  reachable.insert(m.initial_state);
+  while (!work.empty()) {
+    std::string cur = std::move(work.front());
+    work.pop_front();
+    for (const auto& t : graph[cur].targets)
+      if (reachable.insert(t).second) work.push_back(t);
+  }
+
+  for (const auto& s : m.states) {
+    const StateEdges& edges = graph[s.name];
+    const SourceLoc loc = s.decl ? s.decl->loc : SourceLoc{};
+
+    if (!any_dynamic && !reachable.count(s.name)) {
+      sink.warning(codes::kUnreachableState, loc,
+                   "state '" + s.name +
+                       "' is unreachable from initial state '" +
+                       m.initial_state + "'",
+                   "remove the state or add a transit that reaches it");
+      continue;  // trap/livelock findings on dead states are noise
+    }
+
+    // Single-state machines are pure observers — staying put is the point.
+    if (m.states.size() < 2) continue;
+
+    if (edges.targets.empty() && !edges.dynamic) {
+      // No way out. A state with no handlers at all is a deliberate
+      // terminal state; one with handlers that still never transit traps
+      // the machine while it keeps consuming resources.
+      if (!s.events.empty())
+        sink.warning(codes::kTrapState, loc,
+                     "state '" + s.name +
+                         "' has event handlers but no outgoing transit; "
+                         "once entered the machine can never leave",
+                     "add a transit or drop the unreachable handlers");
+      continue;
+    }
+    bool only_self = !edges.dynamic && edges.targets.size() == 1 &&
+                     edges.targets.count(s.name) > 0;
+    if (only_self)
+      sink.warning(codes::kSelfLoopLivelock, loc,
+                   "state '" + s.name +
+                       "' only ever transits to itself (livelock); the "
+                       "machine's other states become unreachable at runtime",
+                   "add an exit transition or remove the self-transit");
+  }
+}
+
+}  // namespace farm::almanac::verify

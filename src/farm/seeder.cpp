@@ -31,6 +31,7 @@ Seeder::Seeder(sim::Engine& engine, const net::SdnController& controller,
   m_downtime_gauge_ = tel_->gauge("seeder.last_downtime_ms");
   m_downtime_hist_ = tel_->histogram("seeder.reseed_downtime_ms");
   m_transfer_hist_ = tel_->histogram("seeder.migration_transfer_ms");
+  m_lint_rejected_ = tel_->counter("seed.lint.rejected");
   for (Soil* soil : soils_) {
     bus_.attach_soil(*soil);
     soil->set_depletion_callback([this](Soil&) {
@@ -385,8 +386,58 @@ void Seeder::reoptimize() {
   realize(last_);
 }
 
+bool Seeder::lint_intake(const TaskSpec& spec) {
+  last_lint_.clear();
+  if (!options_.lint_gate) return true;
+
+  // Score resource estimates against the *tightest* deployed switch: the
+  // smallest monitoring TCAM bank and the widest interface fan-out any
+  // soil exposes (kAllIfaces polls pay for the widest chassis).
+  almanac::verify::VerifyOptions vopts;
+  vopts.controller = &controller_;
+  vopts.externals = spec.externals;
+  vopts.pcie_budget_mbps = sim::cost::kPciePollBandwidthBps / 1e6;
+  for (const Soil* soil : soils_) {
+    const asic::SwitchConfig& sc =
+        const_cast<Soil*>(soil)->chassis().config();
+    vopts.tcam_monitoring_capacity =
+        soil == soils_.front()
+            ? sc.tcam_monitoring_reserved
+            : std::min(vopts.tcam_monitoring_capacity,
+                       sc.tcam_monitoring_reserved);
+    vopts.max_ifaces = std::max(vopts.max_ifaces, sc.n_ifaces);
+  }
+
+  almanac::Program program;
+  try {
+    program = almanac::parse_program(spec.source);
+  } catch (const std::exception& e) {
+    // A parse error will throw again in elaborate(); report it here as a
+    // single diagnostic so the rejection path is uniform.
+    last_lint_.push_back(almanac::verify::Diagnostic{
+        "PARSE", almanac::verify::Severity::kError, {}, e.what(), {}});
+    tel_->add(m_lint_rejected_);
+    ++lint_rejections_;
+    FARM_LOG(kWarn) << "seeder: task '" << spec.name
+                   << "' rejected by Sickle: parse error: " << e.what();
+    return false;
+  }
+  last_lint_ = almanac::verify::verify_program(program, spec.machines, vopts);
+  if (almanac::verify::count_errors(last_lint_) == 0) return true;
+  tel_->add(m_lint_rejected_);
+  ++lint_rejections_;
+  FARM_LOG(kWarn) << "seeder: task '" << spec.name << "' rejected by Sickle: "
+                 << almanac::verify::count_errors(last_lint_)
+                 << " error(s), first: " << last_lint_.front().code << " "
+                 << last_lint_.front().message;
+  return false;
+}
+
 std::vector<SeedId> Seeder::install_task(const TaskSpec& spec) {
   FARM_CHECK_MSG(!tasks_.count(spec.name), "task already installed");
+  // Step 0 (Sickle): reject ill-formed seeds before any elaboration or
+  // placement work happens — a rejected task installs nothing.
+  if (!lint_intake(spec)) return {};
   InstalledTask task;
   task.spec = spec;
   task.seeds = elaborate(spec);

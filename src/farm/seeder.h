@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "almanac/verify/verify.h"
 #include "placement/heuristic.h"
 #include "placement/milp_placement.h"
 #include "runtime/bus.h"
@@ -59,6 +60,12 @@ struct SeederOptions {
   // placement shy away from switches with an active heartbeat-miss streak
   // before they cross the dead-switch verdict.
   double min_health_grade = 0;
+  // Sickle pre-deployment gate (§III-B, DESIGN.md §10): task intake runs
+  // the static verifier and rejects tasks whose seeds carry error-severity
+  // diagnostics before any elaboration or placement happens. Warnings
+  // deploy, but stay readable via last_lint(). Disable for experiments
+  // that deliberately install ill-formed seeds.
+  bool lint_gate = true;
 };
 
 class Seeder {
@@ -67,8 +74,16 @@ class Seeder {
          MessageBus& bus, std::vector<Soil*> soils, SeederOptions options = {});
 
   // Installs the task and (re)optimizes the global placement. Returns the
-  // ids of the task's deployed seeds (empty if the task did not fit).
+  // ids of the task's deployed seeds (empty if the task did not fit, or if
+  // the Sickle gate rejected it — see last_lint()).
   std::vector<SeedId> install_task(const TaskSpec& spec);
+  // Diagnostics of the most recent install_task intake (empty when the
+  // lint gate is off or the task was clean).
+  const std::vector<almanac::verify::Diagnostic>& last_lint() const {
+    return last_lint_;
+  }
+  // Tasks rejected by the Sickle gate since construction.
+  std::uint64_t lint_rejections() const { return lint_rejections_; }
   void remove_task(const std::string& name);
   // Re-runs global placement over all installed tasks (also triggered by
   // soil resource-depletion notifications).
@@ -127,6 +142,9 @@ class Seeder {
     int miss_streak = 0;
   };
 
+  // Sickle pre-deployment verification (step 0). Returns true when the
+  // task may proceed to elaboration; fills last_lint_.
+  bool lint_intake(const TaskSpec& spec);
   // Elaborates a task spec into planned seeds (steps 1-3).
   std::vector<PlannedSeed> elaborate(const TaskSpec& spec);
   void realize(const placement::PlacementResult& result);
@@ -147,6 +165,8 @@ class Seeder {
   std::uint64_t migrations_ = 0;
   std::uint64_t deployments_ = 0;
   bool reoptimizing_ = false;
+  std::vector<almanac::verify::Diagnostic> last_lint_;
+  std::uint64_t lint_rejections_ = 0;
 
   // Heartbeat failure detection, keyed by switch node.
   std::unordered_map<net::NodeId, NodeHealth> health_;
@@ -171,6 +191,7 @@ class Seeder {
   telemetry::MetricId m_downtime_gauge_ = telemetry::kInvalidMetric;
   telemetry::MetricId m_downtime_hist_ = telemetry::kInvalidMetric;
   telemetry::MetricId m_transfer_hist_ = telemetry::kInvalidMetric;
+  telemetry::MetricId m_lint_rejected_ = telemetry::kInvalidMetric;
 };
 
 }  // namespace farm::core

@@ -714,6 +714,58 @@ TEST(UtilityAnalysisTest, ArithmeticOnMinStaysConcave) {
   EXPECT_DOUBLE_EQ(ua.utility({3, 0, 0, 5}), 7);  // 2*3+1
 }
 
+TEST(UtilityAnalysisTest, NestedMinMaxSplitsOnTheMaxOnly) {
+  auto c = compile(R"(
+    machine M { state s {
+      util (r) { return min(r.vCPU, max(r.RAM, r.PCIe)); }
+    } }
+  )",
+                   "M");
+  auto ua = analyze_utility(*c.machine.state("s")->util);
+  // The inner max or-splits into two alternatives (each carrying its
+  // dominance constraint); the outer min stays within each variant as an
+  // extra min term.
+  ASSERT_EQ(ua.variants.size(), 2u);
+  for (const auto& v : ua.variants) {
+    EXPECT_EQ(v.util_min_terms.size(), 2u);
+    EXPECT_EQ(v.constraints.size(), 1u);  // RAM >= PCIe or PCIe >= RAM
+  }
+  EXPECT_DOUBLE_EQ(ua.utility({5, 3, 0, 1}), 3);  // min(5, max(3, 1))
+  EXPECT_DOUBLE_EQ(ua.utility({2, 1, 0, 9}), 2);  // min(2, max(1, 9))
+  EXPECT_DOUBLE_EQ(ua.utility({9, 1, 0, 4}), 4);  // min(9, max(1, 4))
+}
+
+TEST(UtilityAnalysisTest, InheritedStateOverridesUtilCallback) {
+  // The child's state replaces the parent's wholesale, util callback
+  // included: analysis of the flattened machine must see the child's
+  // constant 42, not the parent's constrained linear form.
+  const char* src = R"(
+    machine Base {
+      poll p = Poll { .ival = 0.5, .what = port ANY };
+      state s {
+        util (r) { if (r.vCPU >= 1) then { return r.vCPU; } }
+        when (p as x) do { send stats_size(x) to harvester; }
+      }
+    }
+    machine Derived extends Base {
+      state s {
+        util (r) { return 42; }
+        when (p as x) do { send stats_size(x) to harvester; }
+      }
+    }
+  )";
+  auto base = compile(src, "Base");
+  auto base_ua = analyze_utility(*base.machine.state("s")->util);
+  ASSERT_EQ(base_ua.variants.size(), 1u);
+  EXPECT_EQ(base_ua.variants[0].constraints.size(), 1u);
+
+  auto derived = compile(src, "Derived");
+  auto ua = analyze_utility(*derived.machine.state("s")->util);
+  ASSERT_EQ(ua.variants.size(), 1u);
+  EXPECT_TRUE(ua.variants[0].constraints.empty());
+  EXPECT_DOUBLE_EQ(ua.variants[0].utility({0, 0, 0, 0}), 42);
+}
+
 // --- Poll analysis -------------------------------------------------------------
 
 TEST(PollAnalysisTest, InverseLinearIval) {
@@ -746,6 +798,20 @@ TEST(PollAnalysisTest, ConstantIvalFallback) {
   EXPECT_TRUE(polls[0].inv_linear);  // constants are trivially linear
   EXPECT_DOUBLE_EQ(polls[0].ival_at({0, 0, 0, 0}), 0.01);
   EXPECT_EQ(polls[0].subjects.size(), 1u);
+}
+
+TEST(PollAnalysisTest, MissingIvalThrows) {
+  // A Poll spec without .ival has no interval function to analyze; the
+  // throwing front door reports it (Sickle collects it as PO001).
+  auto c = compile(R"(
+    machine M {
+      poll p = Poll { .what = port 80 };
+      state s { }
+    }
+  )",
+                   "M");
+  Env env;
+  EXPECT_THROW(analyze_polls(c.machine, env, {1, 1, 1, 1}), CompileError);
 }
 
 TEST(PollAnalysisTest, SharedSubjectsDetectable) {
