@@ -1,0 +1,121 @@
+// DiSketch accuracy/resource trade-off bench (DESIGN.md §11,
+// EXPERIMENTS.md): replays the deterministic ground-truth Zipf workload of
+// tests/accuracy_test.cpp through every sketch config at fragment counts
+// 1/2/4/8/16, and emits BENCH_disketch.json with, per (config, fragments):
+//   - heavy-hitter precision/recall/F1 (MG, CMS) or cardinality relative
+//     error (HLL) against exact ground truth,
+//   - the largest per-switch cell slice (the resource axis fragmentation
+//     actually shrinks),
+//   - fold_identical: whether the folded fragments serialize bit-identically
+//     to the monolithic sketch (the protocol's core invariant, must be 1).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_json.h"
+#include "runtime/disketch.h"
+
+using namespace farm;
+using namespace farm::bench;
+namespace dsk = runtime::disketch;
+
+namespace {
+
+struct Config {
+  const char* name;
+  net::SketchSpec spec;
+};
+
+std::vector<Config> configs() {
+  std::vector<Config> out;
+  net::SketchSpec mg64;
+  mg64.kind = net::SketchKind::kMisraGries;
+  mg64.capacity = 64;
+  mg64.shards = 16;
+  net::SketchSpec mg256 = mg64;
+  mg256.capacity = 256;
+  net::SketchSpec cms512;
+  cms512.kind = net::SketchKind::kCountMin;
+  cms512.width = 512;
+  cms512.depth = 4;
+  net::SketchSpec cms2048 = cms512;
+  cms2048.width = 2048;
+  net::SketchSpec hll10;
+  hll10.kind = net::SketchKind::kHyperLogLog;
+  hll10.precision = 10;
+  net::SketchSpec hll12 = hll10;
+  hll12.precision = 12;
+  return {{"mg64", mg64},     {"mg256", mg256}, {"cms512x4", cms512},
+          {"cms2048x4", cms2048}, {"hll_p10", hll10}, {"hll_p12", hll12}};
+}
+
+std::vector<std::string> detect(const dsk::Fragment& sketch,
+                                const dsk::SyntheticStream& stream,
+                                std::uint64_t threshold) {
+  std::vector<std::string> out;
+  if (sketch.spec().kind == net::SketchKind::kMisraGries) {
+    for (const auto& [k, c] : sketch.heavy_hitters(1))
+      if (c + sketch.shard_decrement(k) >= threshold) out.push_back(k);
+    return out;
+  }
+  for (const auto& [key, count] : stream.truth) {
+    (void)count;
+    if (sketch.estimate(key) >= threshold) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kThreshold = 400;
+  auto stream = dsk::make_zipf_stream(0xFA12, 2000, 50000, 1.2);
+  auto truth = stream.hitters(kThreshold);
+
+  BenchJson json("disketch");
+  json.record("stream_items", static_cast<double>(stream.total), "items");
+  json.record("stream_distinct", static_cast<double>(stream.distinct()),
+              "keys");
+  json.record("true_hitters", static_cast<double>(truth.size()), "keys",
+              {param("threshold", static_cast<int>(kThreshold))});
+
+  bool all_identical = true;
+  for (const auto& cfg : configs()) {
+    std::string mono_bytes =
+        dsk::run_fragments(cfg.spec, stream, 1).front().serialize();
+    for (int frags : {1, 2, 4, 8, 16}) {
+      auto folded =
+          dsk::fold_fragments(dsk::run_fragments(cfg.spec, stream, frags));
+      bool identical = folded.serialize() == mono_bytes;
+      all_identical &= identical;
+      std::vector<BenchParam> p = {param("config", cfg.name),
+                                   param("fragments", frags)};
+      json.record("fold_identical", identical ? 1 : 0, "bool", p);
+      json.record(
+          "max_cells_per_switch",
+          static_cast<double>(dsk::max_fragment_cells(cfg.spec, frags)),
+          "cells", p);
+      if (cfg.spec.kind == net::SketchKind::kHyperLogLog) {
+        double est = folded.cardinality();
+        double t = static_cast<double>(stream.distinct());
+        json.record("cardinality_est", est, "keys", p);
+        json.record("cardinality_rel_error", std::abs(est - t) / t, "ratio",
+                    p);
+        continue;
+      }
+      auto score =
+          dsk::score_detection(truth, detect(folded, stream, kThreshold));
+      json.record("precision", score.precision(), "ratio", p);
+      json.record("recall", score.recall(), "ratio", p);
+      json.record("f1", score.f1(), "ratio", p);
+      std::printf("%-10s F=%2d  P=%.3f R=%.3f F1=%.3f  cells<=%zu %s\n",
+                  cfg.name, frags, score.precision(), score.recall(),
+                  score.f1(), dsk::max_fragment_cells(cfg.spec, frags),
+                  identical ? "" : "FOLD-MISMATCH");
+    }
+  }
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: folded fragments diverged from monolithic\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# verify-all: configure + build + test the five supported configurations
+# verify-all: configure + build + test the six supported configurations
 # in sequence — default (RelWithDebInfo), Sickle lint over the corpus and
-# example seeds, ASan+UBSan, telemetry compiled out, and TSan over the
-# Combine-labelled concurrency tests (the worker pool and the parallel
-# placement/sweep paths, run at FARM_THREADS=8). A final non-fatal
+# example seeds, the DiSketch accuracy goldens (`accuracy` label),
+# ASan+UBSan, telemetry compiled out, and TSan over the Combine-labelled
+# concurrency tests (the worker pool and the parallel placement/sweep
+# paths, run at FARM_THREADS=8). A final non-fatal
 # clang-tidy stage (scripts/lint.sh) reports a finding count without
 # breaking the chain. Workflow presets cannot mix configure presets, so
 # each configuration is its own workflow and this script is the chain.
@@ -14,7 +15,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-workflows=(verify-default verify-lint verify-asan verify-telemetry-off verify-tsan)
+workflows=(verify-default verify-lint verify-accuracy verify-asan verify-telemetry-off verify-tsan)
 failed=()
 
 for wf in "${workflows[@]}"; do

@@ -471,6 +471,77 @@ std::vector<PollAnalysis> analyze_polls(
   return out;
 }
 
+// --- Sketch analysis ---------------------------------------------------------
+
+namespace {
+
+// Evaluates one cms_new/mg_new/hll_new argument to an int without a host;
+// returns false when it depends on res() or other runtime state.
+bool static_int_arg(Interpreter& interp, const Expr& e, Env& env,
+                    std::int64_t& out) {
+  try {
+    Value v = interp.eval(e, env);
+    if (!v.is_int()) return false;
+    out = v.as_int();
+    return true;
+  } catch (const EvalError&) {
+    return false;
+  }
+}
+
+void analyze_sketch_var(Interpreter& interp, const VarDecl& v, Env& env,
+                        std::vector<SketchAnalysis>& out) {
+  if (v.type != TypeName::kSketch || !v.init) return;
+  SketchAnalysis sa;
+  sa.var = v.name;
+  sa.loc = v.loc;
+  const Expr& init = *v.init;
+  if (init.kind == Expr::Kind::kCall &&
+      (init.name == "cms_new" || init.name == "mg_new" ||
+       init.name == "hll_new")) {
+    std::vector<std::int64_t> args;
+    bool all_static = true;
+    for (const auto& a : init.args) {
+      std::int64_t x = 0;
+      all_static &= static_int_arg(interp, *a, env, x);
+      args.push_back(x);
+    }
+    if (all_static) {
+      if (init.name == "cms_new" && args.size() == 2) {
+        sa.analyzable = true;
+        sa.spec.kind = net::SketchKind::kCountMin;
+        sa.spec.width = static_cast<int>(args[0]);
+        sa.spec.depth = static_cast<int>(args[1]);
+      } else if (init.name == "mg_new" && args.size() == 1) {
+        sa.analyzable = true;
+        sa.spec.kind = net::SketchKind::kMisraGries;
+        sa.spec.capacity = static_cast<int>(args[0]);
+        sa.spec.shards = 1;  // seed-local summaries are unsharded
+      } else if (init.name == "hll_new" && args.size() == 1) {
+        sa.analyzable = true;
+        sa.spec.kind = net::SketchKind::kHyperLogLog;
+        sa.spec.precision = static_cast<int>(args[0]);
+      }
+      if (sa.analyzable) sa.problem = sa.spec.validate();
+    }
+  }
+  out.push_back(std::move(sa));
+}
+
+}  // namespace
+
+std::vector<SketchAnalysis> analyze_sketches(const CompiledMachine& machine,
+                                             Env& machine_env) {
+  std::vector<SketchAnalysis> out;
+  Interpreter interp(machine, nullptr);
+  for (const auto* v : machine.vars)
+    analyze_sketch_var(interp, *v, machine_env, out);
+  for (const auto& s : machine.states)
+    for (const auto* v : s.locals)
+      analyze_sketch_var(interp, *v, machine_env, out);
+  return out;
+}
+
 // --- Placement resolution -----------------------------------------------------
 
 namespace {

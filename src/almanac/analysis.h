@@ -138,6 +138,31 @@ std::vector<PollAnalysis> analyze_polls(const CompiledMachine& machine,
                                         Env& machine_env,
                                         const ResourcesValue& reference_alloc);
 
+// --- Sketch analysis ---------------------------------------------------------
+
+// The static shape of one `sketch` variable (machine- or state-level): the
+// declared spec that Sickle's resource pass costs against the per-switch
+// cell budget and the DiSketch planner fragments. Initializer arguments are
+// evaluated host-independently; anything res()- or runtime-dependent makes
+// the declaration non-analyzable (SK001) rather than an error.
+struct SketchAnalysis {
+  std::string var;
+  SourceLoc loc;
+  // The initializer was a cms_new/mg_new/hll_new call with statically
+  // evaluable arguments. When false, `spec` is meaningless.
+  bool analyzable = false;
+  // Non-empty when the statically evaluated parameters are invalid (SK002);
+  // holds the SketchSpec::validate() message.
+  std::string problem;
+  net::SketchSpec spec;
+};
+
+// Analyzes every sketch-typed machine variable and state local with an
+// initializer. `machine_env` supplies external-variable bindings, as for
+// analyze_polls.
+std::vector<SketchAnalysis> analyze_sketches(const CompiledMachine& machine,
+                                             Env& machine_env);
+
 // --- Placement resolution -----------------------------------------------------
 
 struct ResolvedSeed {

@@ -571,10 +571,16 @@ Value Interpreter::builtin(const std::string& name, std::vector<Value>& args,
   // --- sketches (§VIII extension) --------------------------------------------
   if (name == "cms_new") {
     arity(2);
+    // Validate via SketchSpec before construction — FARM_CHECK aborts, and
+    // seed initializers are also evaluated inside the Sickle linter.
+    net::SketchSpec spec;
+    spec.kind = net::SketchKind::kCountMin;
+    spec.width = static_cast<int>(need_int(args[0], loc, "cms_new width"));
+    spec.depth = static_cast<int>(need_int(args[1], loc, "cms_new depth"));
+    if (std::string err = spec.validate(); !err.empty())
+      throw EvalError("cms_new: " + err, loc);
     SketchValue s;
-    s.cms = std::make_shared<net::CountMinSketch>(
-        static_cast<int>(need_int(args[0], loc, "cms_new width")),
-        static_cast<int>(need_int(args[1], loc, "cms_new depth")));
+    s.cms = std::make_shared<net::CountMinSketch>(spec.width, spec.depth);
     return Value(std::move(s));
   }
   if (name == "cms_add") {
@@ -603,11 +609,66 @@ Value Interpreter::builtin(const std::string& name, std::vector<Value>& args,
     args[0].as_sketch().cms->clear();
     return Value();
   }
+  if (name == "mg_new") {
+    arity(1);
+    net::SketchSpec spec;
+    spec.kind = net::SketchKind::kMisraGries;
+    spec.capacity =
+        static_cast<int>(need_int(args[0], loc, "mg_new capacity"));
+    spec.shards = 1;  // seed-local summaries are unsharded
+    if (std::string err = spec.validate(); !err.empty())
+      throw EvalError("mg_new: " + err, loc);
+    SketchValue s;
+    s.mg = std::make_shared<net::MisraGries>(spec.capacity);
+    return Value(std::move(s));
+  }
+  if (name == "mg_add") {
+    arity(3);
+    if (!args[0].is_sketch() || !args[0].as_sketch().mg)
+      throw EvalError("mg_add expects a misra-gries summary", loc);
+    std::string key = args[1].is_string() ? args[1].as_string()
+                                          : args[1].to_string();
+    args[0].as_sketch().mg->add(
+        key, static_cast<std::uint64_t>(need_int(args[2], loc, "mg_add")));
+    return Value();
+  }
+  if (name == "mg_estimate") {
+    arity(2);
+    if (!args[0].is_sketch() || !args[0].as_sketch().mg)
+      throw EvalError("mg_estimate expects a misra-gries summary", loc);
+    std::string key = args[1].is_string() ? args[1].as_string()
+                                          : args[1].to_string();
+    return Value(
+        static_cast<std::int64_t>(args[0].as_sketch().mg->estimate(key)));
+  }
+  if (name == "mg_hitters") {
+    arity(2);
+    if (!args[0].is_sketch() || !args[0].as_sketch().mg)
+      throw EvalError("mg_hitters expects a misra-gries summary", loc);
+    auto min_count = need_int(args[1], loc, "mg_hitters");
+    auto out = std::make_shared<std::vector<Value>>();
+    for (const auto& [k, c] : args[0].as_sketch().mg->hitters(
+             static_cast<std::uint64_t>(min_count > 0 ? min_count : 0)))
+      out->push_back(Value(k));
+    return Value(std::move(out));
+  }
+  if (name == "mg_clear") {
+    arity(1);
+    if (!args[0].is_sketch() || !args[0].as_sketch().mg)
+      throw EvalError("mg_clear expects a misra-gries summary", loc);
+    args[0].as_sketch().mg->clear();
+    return Value();
+  }
   if (name == "hll_new") {
     arity(1);
+    net::SketchSpec spec;
+    spec.kind = net::SketchKind::kHyperLogLog;
+    spec.precision =
+        static_cast<int>(need_int(args[0], loc, "hll_new precision"));
+    if (std::string err = spec.validate(); !err.empty())
+      throw EvalError("hll_new: " + err, loc);
     SketchValue s;
-    s.hll = std::make_shared<net::HyperLogLog>(
-        static_cast<int>(need_int(args[0], loc, "hll_new precision")));
+    s.hll = std::make_shared<net::HyperLogLog>(spec.precision);
     return Value(std::move(s));
   }
   if (name == "hll_add") {

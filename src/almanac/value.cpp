@@ -195,7 +195,9 @@ std::string Value::to_string() const {
   }
   if (is_rule()) return "rule#" + std::to_string(as_rule().id);
   if (is_sketch())
-    return as_sketch().cms ? "sketch(cms)" : "sketch(hll)";
+    return as_sketch().cms  ? "sketch(cms)"
+           : as_sketch().mg ? "sketch(mg)"
+                            : "sketch(hll)";
   return "?";
 }
 

@@ -76,13 +76,15 @@ struct ResourcesValue {
 
 using ListValue = std::shared_ptr<std::vector<Value>>;
 
-// Sketch state (§VIII future-work extension): a count-min sketch or a
-// HyperLogLog, held by reference like lists — seed-local mutable state.
+// Sketch state (§VIII future-work extension): a count-min sketch, a
+// Misra-Gries summary, or a HyperLogLog, held by reference like lists —
+// seed-local mutable state.
 struct SketchValue {
   std::shared_ptr<net::CountMinSketch> cms;
+  std::shared_ptr<net::MisraGries> mg;
   std::shared_ptr<net::HyperLogLog> hll;
   bool operator==(const SketchValue& o) const {
-    return cms == o.cms && hll == o.hll;
+    return cms == o.cms && mg == o.mg && hll == o.hll;
   }
 };
 

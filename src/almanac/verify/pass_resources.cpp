@@ -113,8 +113,51 @@ void pass_resources(const CompiledMachine& m, const VerifyOptions& opts,
                "per prefix instead of per interface)");
   }
 
-  // --- Polls / PCIe ----------------------------------------------------------
   Env env = build_machine_env(m, opts);
+
+  // --- Sketch cells (SK, DESIGN.md §11) --------------------------------------
+  // Declared sketch state is costed like TCAM: the per-variable SketchSpec
+  // cell counts must jointly fit the per-switch budget, or the seed needs
+  // DiSketch fragmentation across several switches.
+  std::size_t sketch_cells = 0;
+  for (const auto& sa : analyze_sketches(m, env)) {
+    if (!sa.analyzable) {
+      sink.warning(codes::kSketchNotAnalyzable, sa.loc,
+                   "sketch variable '" + sa.var +
+                       "' has an initializer the seeder cannot evaluate "
+                       "statically; its switch-memory cost is unknown and "
+                       "excluded from the budget check",
+                   "initialize with cms_new/mg_new/hll_new and constant "
+                   "parameters");
+      continue;
+    }
+    if (!sa.problem.empty()) {
+      sink.error(codes::kSketchBadParams, sa.loc,
+                 "sketch variable '" + sa.var + "' has invalid parameters: " +
+                     sa.problem,
+                 "see the sketch builtin table in DESIGN.md §11 for valid "
+                 "ranges");
+      continue;
+    }
+    sketch_cells += sa.spec.cells();
+  }
+  if (sketch_cells > opts.sketch_cell_budget) {
+    SourceLoc loc;
+    if (const MachineDecl* d = m.program->machine(m.name)) loc = d->loc;
+    std::size_t frags =
+        (sketch_cells + opts.sketch_cell_budget - 1) / opts.sketch_cell_budget;
+    sink.error(codes::kSketchOverBudget, loc,
+               "machine '" + m.name + "' declares " +
+                   std::to_string(sketch_cells) +
+                   " sketch cells, over the " +
+                   std::to_string(opts.sketch_cell_budget) +
+                   "-cell monitoring budget of a single switch",
+               "shrink the sketches or fragment across >= " +
+                   std::to_string(frags) +
+                   " switches with the DiSketch runtime");
+  }
+
+  // --- Polls / PCIe ----------------------------------------------------------
   std::vector<PollAnalysis> polls;
   try {
     polls = analyze_polls(m, env, opts.reference_alloc);

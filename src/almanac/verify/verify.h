@@ -66,6 +66,10 @@ inline constexpr const char* kPcieNearBudget = "RS003";
 // Placement.
 inline constexpr const char* kPlaceUnsatisfiable = "PL001";
 inline constexpr const char* kPlaceInvalid = "PL002";
+// Sketches (DiSketch, DESIGN.md §11).
+inline constexpr const char* kSketchNotAnalyzable = "SK001";
+inline constexpr const char* kSketchBadParams = "SK002";
+inline constexpr const char* kSketchOverBudget = "SK003";
 }  // namespace codes
 
 struct VerifyOptions {
@@ -87,6 +91,12 @@ struct VerifyOptions {
   double pcie_warn_fraction = 0.5;
   // Worst-case polled entry count for `port ANY` subjects.
   int max_ifaces = 48;
+  // Per-switch sketch cell budget (counter cells a single seed's declared
+  // sketches may pin; SketchSpec::cells). SK003 fires when the machine's
+  // declared total exceeds it, with the DiSketch fragment count that would
+  // fit as the remediation hint. Sized so the shipped sketch examples
+  // (~20.5k cells) deploy monolithically.
+  std::size_t sketch_cell_budget = 32768;
 };
 
 // Runs all passes over one compiled machine. Diagnostics are ordered by

@@ -1,0 +1,55 @@
+#include "farm/disketch.h"
+
+#include <algorithm>
+
+namespace farm::core {
+
+FragmentPlan plan_fragments(const net::SketchSpec& spec, const Seeder& seeder,
+                            const net::SdnController& controller,
+                            std::size_t cells_per_switch) {
+  FragmentPlan plan;
+  plan.spec = spec;
+  if (std::string err = spec.validate(); !err.empty()) {
+    plan.problem = "invalid sketch spec: " + err;
+    return plan;
+  }
+
+  int need = runtime::disketch::min_fragments(spec, cells_per_switch);
+  if (need == 0) {
+    plan.problem = "spec " + spec.to_string() +
+                   " cannot be sliced to fit " +
+                   std::to_string(cells_per_switch) + " cells per switch";
+    return plan;
+  }
+
+  // Healthiest switches first; node id breaks ties so the plan is
+  // deterministic across runs.
+  std::vector<net::NodeId> alive;
+  for (net::NodeId n : controller.topology().switches())
+    if (!seeder.node_failed(n)) alive.push_back(n);
+  std::sort(alive.begin(), alive.end(), [&](net::NodeId a, net::NodeId b) {
+    double ga = seeder.health_grade(a), gb = seeder.health_grade(b);
+    return ga != gb ? ga > gb : a < b;
+  });
+
+  if (static_cast<int>(alive.size()) < need) {
+    plan.problem = spec.to_string() + " needs " + std::to_string(need) +
+                   " fragments but only " + std::to_string(alive.size()) +
+                   " healthy switches are available";
+    return plan;
+  }
+
+  for (int i = 0; i < need; ++i) {
+    FragmentPlacement p;
+    p.node = alive[static_cast<std::size_t>(i)];
+    p.fragment_index = i;
+    // Slice i's cell count: fragments are interleaved, so the first
+    // (slices % need) fragments carry one extra slice.
+    runtime::disketch::Fragment f(spec, i, need);
+    p.cells = f.owned_cells();
+    plan.placements.push_back(p);
+  }
+  return plan;
+}
+
+}  // namespace farm::core

@@ -1,0 +1,45 @@
+// Seeder-side DiSketch fragment planning (DESIGN.md §11).
+//
+// When Sickle's SK003 says a declared sketch cannot fit one switch's cell
+// budget, the runtime answer is fragmentation: slice the logical sketch's
+// cell space across several switches (runtime/disketch.h) and fold the
+// slices at the harvester each epoch. This module picks *which* switches:
+// the smallest feasible fragment count, assigned to the healthiest alive
+// switches (Seeder::health_grade), skipping failed ones.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "farm/seeder.h"
+#include "runtime/disketch.h"
+
+namespace farm::core {
+
+struct FragmentPlacement {
+  net::NodeId node = net::kInvalidNode;
+  int fragment_index = 0;
+  // Counter cells this fragment pins on its switch.
+  std::size_t cells = 0;
+};
+
+struct FragmentPlan {
+  net::SketchSpec spec;
+  // Empty when infeasible: not enough healthy switches, or the spec cannot
+  // be sliced finely enough for the per-switch budget.
+  std::vector<FragmentPlacement> placements;
+  std::string problem;  // why the plan is empty
+
+  bool feasible() const { return !placements.empty(); }
+  int fragments() const { return static_cast<int>(placements.size()); }
+};
+
+// Plans the fragment placement of one logical sketch: the minimum fragment
+// count whose largest slice fits `cells_per_switch`, placed on the alive
+// switches in descending health order (ties broken by node id for
+// determinism).
+FragmentPlan plan_fragments(const net::SketchSpec& spec, const Seeder& seeder,
+                            const net::SdnController& controller,
+                            std::size_t cells_per_switch);
+
+}  // namespace farm::core

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "runtime/bus.h"
+#include "runtime/disketch.h"
 
 namespace farm::core {
 
@@ -114,6 +115,37 @@ class LinkFailureHarvester : public Harvester {
                        const Value& payload) override {
     failures.emplace_back(from_switch, payload);
   }
+};
+// [/harvester]
+
+// [harvester:DiSketch]
+// Folds sketch fragments shipped from the switches back into the logical
+// sketch each epoch (runtime/disketch.h). Seeds send [epoch, state-bytes]
+// pairs; once every fragment of an epoch arrived, the reassembled sketch —
+// bit-identical to the monolithic one — is appended to `folded`.
+class DiSketchHarvester : public Harvester {
+ public:
+  DiSketchHarvester(sim::Engine& engine, std::string task, int fragment_count)
+      : Harvester(engine, std::move(task)), fold_(fragment_count) {}
+
+  void on_seed_message(const SeedId&, net::NodeId,
+                       const Value& payload) override {
+    if (!payload.is_list() || payload.as_list()->size() != 2) return;
+    const auto& l = *payload.as_list();
+    if (!l[0].is_int() || !l[1].is_string()) return;
+    ++fragments_received_;
+    auto frag = runtime::disketch::Fragment::deserialize(l[1].as_string());
+    if (auto merged = fold_.offer(l[0].as_int(), frag))
+      folded.emplace_back(l[0].as_int(), std::move(*merged));
+  }
+
+  std::vector<std::pair<std::int64_t, runtime::disketch::Fragment>> folded;
+  std::uint64_t fragments_received() const { return fragments_received_; }
+  std::size_t pending_epochs() const { return fold_.pending_epochs(); }
+
+ private:
+  runtime::disketch::EpochFold fold_;
+  std::uint64_t fragments_received_ = 0;
 };
 // [/harvester]
 

@@ -17,6 +17,22 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 }
 }  // namespace
 
+std::uint64_t stable_hash64(std::string_view bytes, std::uint64_t seed) {
+  // FNV-1a with the seed folded into the offset basis, finalized with the
+  // SplitMix64 mixer for avalanche on short keys.
+  std::uint64_t h = 1469598103934665603ull ^ (seed * 0x9E3779B97F4A7C15ull);
+  for (char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return splitmix64(h);
+}
+
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t stream) {
+  std::uint64_t x = master ^ ((stream + 1) * 0xBF58476D1CE4E5B9ull);
+  return splitmix64(x);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t x = seed;
   for (auto& s : s_) s = splitmix64(x);

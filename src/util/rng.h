@@ -6,11 +6,21 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "util/check.h"
 
 namespace farm::util {
+
+// --- Stable hashing ---------------------------------------------------------
+// All sketch hashing routes through these two functions so estimates are
+// bit-stable across platforms and standard-library versions (std::hash is
+// not portable, and accuracy goldens diff exact estimates). stable_hash64
+// is FNV-1a over the bytes finalized with the SplitMix64 mixer; derive_seed
+// expands one master seed into independent per-row/per-shard stream seeds.
+std::uint64_t stable_hash64(std::string_view bytes, std::uint64_t seed);
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t stream);
 
 class Rng {
  public:

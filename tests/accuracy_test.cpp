@@ -1,0 +1,283 @@
+// DiSketch ground-truth accuracy harness (ctest label `accuracy`).
+//
+// Replays deterministic synthetic Zipf traffic with exact per-key ground
+// truth through every sketch config at fragment counts 1/4/16, scores
+// heavy-hitter detection (precision/recall/F1) and cardinality error
+// against the truth, and pins the *exact* results in golden files under
+// tests/accuracy_corpus/ (same scheme as tests/lint_corpus): stable
+// hashing makes every estimate bit-reproducible, so the goldens hold exact
+// counts, not tolerances. Regenerate after an intentional change with
+//   FARM_ACCURACY_REGEN=1 ./accuracy_test
+// Fragmentation never appears in the goldens because fold(fragments) is
+// bit-identical to the monolithic sketch — asserted here per config.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "almanac/verify/verify.h"
+#include "farm/disketch.h"
+#include "farm/system.h"
+#include "runtime/disketch.h"
+
+#ifndef FARM_ACCURACY_CORPUS_DIR
+#error "FARM_ACCURACY_CORPUS_DIR must point at tests/accuracy_corpus"
+#endif
+
+namespace farm {
+namespace {
+
+namespace dsk = runtime::disketch;
+namespace fs = std::filesystem;
+
+// The reference workload: skewed enough for a clear elephant set, enough
+// distinct keys to pressure the summaries.
+constexpr std::uint64_t kStreamSeed = 0xFA12;
+constexpr std::uint64_t kKeys = 2000;
+constexpr std::size_t kItems = 50000;
+constexpr double kSkew = 1.2;
+constexpr std::uint64_t kHitterThreshold = 400;
+
+const dsk::SyntheticStream& stream() {
+  static dsk::SyntheticStream s =
+      dsk::make_zipf_stream(kStreamSeed, kKeys, kItems, kSkew);
+  return s;
+}
+
+struct Config {
+  std::string name;
+  net::SketchSpec spec;
+};
+
+std::vector<Config> configs() {
+  std::vector<Config> out;
+  auto mg = [&](int capacity) {
+    net::SketchSpec s;
+    s.kind = net::SketchKind::kMisraGries;
+    s.capacity = capacity;
+    s.shards = 16;
+    out.push_back({"mg" + std::to_string(capacity), s});
+  };
+  auto cms = [&](int width) {
+    net::SketchSpec s;
+    s.kind = net::SketchKind::kCountMin;
+    s.width = width;
+    s.depth = 4;
+    out.push_back({"cms" + std::to_string(width) + "x4", s});
+  };
+  auto hll = [&](int precision) {
+    net::SketchSpec s;
+    s.kind = net::SketchKind::kHyperLogLog;
+    s.precision = precision;
+    out.push_back({"hll_p" + std::to_string(precision), s});
+  };
+  mg(64);
+  mg(256);
+  cms(512);
+  cms(2048);
+  hll(10);
+  hll(12);
+  return out;
+}
+
+// Keys the folded sketch reports as heavy. MG compensates the recorded
+// decrement (guaranteeing recall 1 for true hitters); CMS scans the truth
+// universe with its never-underestimating point query.
+std::vector<std::string> detect(const dsk::Fragment& sketch,
+                                std::uint64_t threshold) {
+  std::vector<std::string> out;
+  if (sketch.spec().kind == net::SketchKind::kMisraGries) {
+    // Compensate each key's counter with its shard's decrement total (the
+    // summary's worst-case under-estimation of that key).
+    for (const auto& [k, c] : sketch.heavy_hitters(1))
+      if (c + sketch.shard_decrement(k) >= threshold) out.push_back(k);
+    return out;
+  }
+  for (const auto& [key, truth] : stream().truth) {
+    (void)truth;
+    if (sketch.estimate(key) >= threshold) out.push_back(key);
+  }
+  return out;
+}
+
+// Report of one config, serialized to the golden format.
+std::string report(const Config& cfg) {
+  std::ostringstream os;
+  auto mono = dsk::run_fragments(cfg.spec, stream(), 1).front();
+  os << "config: " << cfg.spec.to_string() << "\n";
+  os << "cells: " << cfg.spec.cells() << "\n";
+  os << "items: " << mono.items() << " distinct: " << stream().distinct()
+     << "\n";
+  if (cfg.spec.kind == net::SketchKind::kHyperLogLog) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.2f", mono.cardinality());
+    os << "cardinality: " << buf << "\n";
+    return os.str();
+  }
+  auto truth = stream().hitters(kHitterThreshold);
+  auto detected = detect(mono, kHitterThreshold);
+  auto score = dsk::score_detection(truth, detected);
+  os << "threshold: " << kHitterThreshold
+     << " true_hitters: " << truth.size() << "\n";
+  os << "detected: " << detected.size() << " tp: " << score.true_positives
+     << " fp: " << score.false_positives << " fn: " << score.false_negatives
+     << "\n";
+  char buf[96];
+  std::snprintf(buf, sizeof buf,
+                "precision: %.6f recall: %.6f f1: %.6f", score.precision(),
+                score.recall(), score.f1());
+  os << buf << "\n";
+  // Exact point estimates of the top true hitters — the bit-level golden.
+  for (std::size_t i = 0; i < truth.size() && i < 8; ++i)
+    os << "est[" << truth[i] << "]: " << mono.estimate(truth[i]) << "\n";
+  return os.str();
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+class AccuracyGolden : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AccuracyGolden, ConfigMatchesPinnedGolden) {
+  const Config cfg = configs()[GetParam()];
+  SCOPED_TRACE(cfg.name);
+  std::string got = report(cfg);
+  fs::path golden = fs::path(FARM_ACCURACY_CORPUS_DIR) / (cfg.name + ".expect");
+  if (std::getenv("FARM_ACCURACY_REGEN")) {
+    std::ofstream(golden) << got;
+    GTEST_SKIP() << "regenerated " << golden;
+  }
+  ASSERT_TRUE(fs::exists(golden)) << "missing golden " << golden
+                                  << " (run with FARM_ACCURACY_REGEN=1)";
+  EXPECT_EQ(got, read_file(golden));
+}
+
+TEST_P(AccuracyGolden, FragmentedFoldIsBitIdenticalToMonolithic) {
+  const Config cfg = configs()[GetParam()];
+  SCOPED_TRACE(cfg.name);
+  std::string mono =
+      dsk::run_fragments(cfg.spec, stream(), 1).front().serialize();
+  for (int frags : {4, 16}) {
+    auto folded =
+        dsk::fold_fragments(dsk::run_fragments(cfg.spec, stream(), frags));
+    EXPECT_EQ(folded.serialize(), mono) << "fragments=" << frags;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, AccuracyGolden,
+                         ::testing::Range<std::size_t>(0, 6));
+
+// Acceptance floor: at the reference cell budget (mg256: 256 cells,
+// cms2048x4: 8192 cells — both far under the 32768-cell switch budget),
+// heavy-hitter F1 must clear 0.9. The smaller configs (mg64, cms512x4)
+// chart the budget-constrained end of the trade-off in the goldens and the
+// bench, without a floor.
+TEST(AccuracyFloor, ReferenceConfigsClearF1Bar) {
+  for (const auto& cfg : configs()) {
+    if (cfg.name != "mg256" && cfg.name != "cms2048x4") continue;
+    SCOPED_TRACE(cfg.name);
+    auto mono = dsk::run_fragments(cfg.spec, stream(), 1).front();
+    auto score = dsk::score_detection(stream().hitters(kHitterThreshold),
+                                      detect(mono, kHitterThreshold));
+    EXPECT_GE(score.f1(), 0.9);
+  }
+}
+
+TEST(AccuracyFloor, HllCardinalityWithinExpectedError) {
+  for (const auto& cfg : configs()) {
+    if (cfg.spec.kind != net::SketchKind::kHyperLogLog) continue;
+    SCOPED_TRACE(cfg.name);
+    auto mono = dsk::run_fragments(cfg.spec, stream(), 1).front();
+    double truth = static_cast<double>(stream().distinct());
+    double rel = std::abs(mono.cardinality() - truth) / truth;
+    // 3σ of the 1.04/√m standard error.
+    double m = static_cast<double>(std::size_t{1} << cfg.spec.precision);
+    EXPECT_LE(rel, 3 * 1.04 / std::sqrt(m));
+  }
+}
+
+// --- Fragment planning & seeder intake ---------------------------------------
+
+TEST(FragmentPlanning, MinFragmentsMatchesBudgetMath) {
+  net::SketchSpec big;
+  big.kind = net::SketchKind::kCountMin;
+  big.width = 65536;
+  big.depth = 4;  // 262144 cells
+  EXPECT_EQ(dsk::min_fragments(big, 262144), 1);
+  EXPECT_EQ(dsk::min_fragments(big, 32768), 8);
+  EXPECT_EQ(dsk::min_fragments(big, 4), 65536);  // one column per switch
+  EXPECT_EQ(dsk::min_fragments(big, 3), 0);      // depth=4 cannot fit in 3
+  for (int f : {1, 2, 4, 8, 16})
+    EXPECT_LE(dsk::max_fragment_cells(big, f),
+              (big.cells() + static_cast<std::size_t>(f) - 1) /
+                      static_cast<std::size_t>(f) +
+                  4 * static_cast<std::size_t>(big.depth));
+}
+
+TEST(FragmentPlanning, PlannerSpreadsAcrossHealthySwitches) {
+  core::FarmSystemConfig cfg;
+  cfg.topology = {.spines = 2, .leaves = 8, .hosts_per_leaf = 2};
+  core::FarmSystem farm(cfg);
+  net::SketchSpec big;
+  big.kind = net::SketchKind::kCountMin;
+  big.width = 65536;
+  big.depth = 4;
+  auto plan = core::plan_fragments(big, farm.seeder(), farm.controller(),
+                                   32768);
+  ASSERT_TRUE(plan.feasible()) << plan.problem;
+  EXPECT_EQ(plan.fragments(), 8);
+  std::set<net::NodeId> nodes;
+  for (const auto& p : plan.placements) {
+    nodes.insert(p.node);
+    EXPECT_LE(p.cells, 32768u);
+    EXPECT_FALSE(farm.seeder().node_failed(p.node));
+  }
+  EXPECT_EQ(nodes.size(), 8u);  // distinct switches
+  // Infeasible when the fabric is too small for the needed fan-out.
+  core::FarmSystemConfig tiny;
+  tiny.topology = {.spines = 1, .leaves = 2, .hosts_per_leaf = 2};
+  core::FarmSystem small(tiny);
+  auto bad = core::plan_fragments(big, small.seeder(), small.controller(),
+                                  32768);
+  EXPECT_FALSE(bad.feasible());
+  EXPECT_NE(bad.problem.find("8 fragments"), std::string::npos);
+}
+
+TEST(SeederIntake, InfeasibleSketchRejectedWithSk003) {
+  core::FarmSystemConfig cfg;
+  cfg.topology = {.spines = 2, .leaves = 4, .hosts_per_leaf = 4};
+  core::FarmSystem farm(cfg);
+  // 262144 declared cells — 8x the per-switch budget: the Sickle gate must
+  // stop the task at intake, before any elaboration or deployment.
+  auto ids = farm.install_task({"oversketch", R"(
+    machine OverSketch {
+      place all;
+      probe pkts = Probe { .ival = 0.001, .what = proto tcp };
+      sketch flows = cms_new(65536, 4);
+      state observe {
+        util (res) { return res.vCPU; }
+        when (pkts as pkt) do { cms_add(flows, pkt.srcIP, 1); }
+      }
+    }
+  )", {}, {}});
+  EXPECT_TRUE(ids.empty());
+  EXPECT_EQ(farm.seeder().lint_rejections(), 1u);
+  EXPECT_EQ(farm.seeder().deployments(), 0u);
+  bool saw_sk003 = false;
+  for (const auto& d : farm.seeder().last_lint())
+    if (d.code == almanac::verify::codes::kSketchOverBudget)
+      saw_sk003 = true;
+  EXPECT_TRUE(saw_sk003);
+}
+
+}  // namespace
+}  // namespace farm

@@ -17,7 +17,9 @@
 #include "farm/usecases.h"
 #include "lp/simplex.h"
 #include "net/filter.h"
+#include "net/sketch.h"
 #include "net/traffic.h"
+#include "runtime/disketch.h"
 #include "placement/generator.h"
 #include "placement/heuristic.h"
 #include "placement/milp_placement.h"
@@ -306,6 +308,185 @@ TEST_P(XmlProperty, DoubleRoundTripIsAFixedPoint) {
 
 INSTANTIATE_TEST_SUITE_P(AllUseCases, XmlProperty,
                          ::testing::Range(0, 17));
+
+// --- DiSketch merge algebra --------------------------------------------------
+// The fragment/merge protocol's load-bearing invariant: folding the F
+// fragments of a logical sketch — in any order, any association, at any F —
+// reassembles the monolithic sketch bit-for-bit (asserted on serialized
+// bytes, the strongest form). Parameterized over the fragment count.
+
+namespace dsk = runtime::disketch;
+
+std::vector<net::SketchSpec> disketch_specs() {
+  net::SketchSpec cms;
+  cms.kind = net::SketchKind::kCountMin;
+  cms.width = 512;
+  cms.depth = 4;
+  net::SketchSpec mg;
+  mg.kind = net::SketchKind::kMisraGries;
+  mg.capacity = 64;
+  mg.shards = 16;
+  net::SketchSpec hll;
+  hll.kind = net::SketchKind::kHyperLogLog;
+  hll.precision = 10;
+  return {cms, mg, hll};
+}
+
+class DiSketchProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiSketchProperty, FoldIsBitIdenticalToMonolithicAtAnyFragmentCount) {
+  const int frags = GetParam();
+  auto stream = dsk::make_zipf_stream(0xD15C, 400, 6000, 1.1);
+  for (const auto& spec : disketch_specs()) {
+    SCOPED_TRACE(spec.to_string());
+    auto mono = dsk::run_fragments(spec, stream, 1).front();
+    auto folded = dsk::fold_fragments(dsk::run_fragments(spec, stream, frags));
+    EXPECT_TRUE(folded.complete());
+    EXPECT_EQ(folded.serialize(), mono.serialize());
+  }
+}
+
+TEST_P(DiSketchProperty, MergeIsOrderIndependent) {
+  const int frags = GetParam();
+  if (frags < 2) GTEST_SKIP() << "order needs >= 2 fragments";
+  auto stream = dsk::make_zipf_stream(0xBEEF, 300, 4000, 1.2);
+  for (const auto& spec : disketch_specs()) {
+    SCOPED_TRACE(spec.to_string());
+    auto parts = dsk::run_fragments(spec, stream, frags);
+    std::string forward = dsk::fold_fragments(parts).serialize();
+    // Reversed fold and a few seeded shuffles must yield the same bytes.
+    std::vector<dsk::Fragment> rev(parts.rbegin(), parts.rend());
+    EXPECT_EQ(dsk::fold_fragments(rev).serialize(), forward);
+    util::Rng rng(static_cast<std::uint64_t>(frags) * 77 + 5);
+    for (int round = 0; round < 3; ++round) {
+      auto shuffled = parts;
+      for (std::size_t i = shuffled.size(); i > 1; --i)
+        std::swap(shuffled[i - 1],
+                  shuffled[static_cast<std::size_t>(rng.next_below(i))]);
+      EXPECT_EQ(dsk::fold_fragments(shuffled).serialize(), forward);
+    }
+  }
+}
+
+TEST_P(DiSketchProperty, MergeIsAssociativeOverRandomTrees) {
+  const int frags = GetParam();
+  if (frags < 2) GTEST_SKIP() << "association needs >= 2 fragments";
+  auto stream = dsk::make_zipf_stream(0xACE, 200, 3000, 1.3);
+  for (const auto& spec : disketch_specs()) {
+    SCOPED_TRACE(spec.to_string());
+    auto parts = dsk::run_fragments(spec, stream, frags);
+    std::string forward = dsk::fold_fragments(parts).serialize();
+    util::Rng rng(static_cast<std::uint64_t>(frags) * 31 + 9);
+    for (int round = 0; round < 4; ++round) {
+      // Random association: repeatedly merge two random partial folds.
+      auto pool = parts;
+      while (pool.size() > 1) {
+        std::size_t a = rng.next_below(pool.size());
+        std::size_t b = rng.next_below(pool.size() - 1);
+        if (b >= a) ++b;
+        pool[std::min(a, b)].merge(pool[std::max(a, b)]);
+        pool.erase(pool.begin() +
+                   static_cast<std::ptrdiff_t>(std::max(a, b)));
+      }
+      EXPECT_EQ(pool.front().serialize(), forward);
+    }
+  }
+}
+
+TEST_P(DiSketchProperty, SerializationRoundTripsAndEpochFoldReassembles) {
+  const int frags = GetParam();
+  auto stream = dsk::make_zipf_stream(0xF01D, 250, 3500, 1.1);
+  for (const auto& spec : disketch_specs()) {
+    SCOPED_TRACE(spec.to_string());
+    auto parts = dsk::run_fragments(spec, stream, frags);
+    std::string mono = dsk::run_fragments(spec, stream, 1).front().serialize();
+    // Wire round-trip preserves bytes; EpochFold over two interleaved
+    // epochs (shipped in reverse order) reassembles both.
+    dsk::EpochFold fold(frags);
+    int completed = 0;
+    for (std::int64_t epoch : {7, 8}) {
+      for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+        auto wire = dsk::Fragment::deserialize(it->serialize());
+        EXPECT_EQ(wire.serialize(), it->serialize());
+        if (auto merged = fold.offer(epoch, wire)) {
+          EXPECT_EQ(merged->serialize(), mono);
+          ++completed;
+        }
+      }
+    }
+    EXPECT_EQ(completed, 2);
+    EXPECT_EQ(fold.pending_epochs(), 0u);
+  }
+}
+
+TEST_P(DiSketchProperty, ClearResetsStateButKeepsOwnership) {
+  const int frags = GetParam();
+  auto s1 = dsk::make_zipf_stream(0xAA, 150, 2000, 1.2);
+  auto s2 = dsk::make_zipf_stream(0xBB, 150, 2000, 1.2);
+  for (const auto& spec : disketch_specs()) {
+    SCOPED_TRACE(spec.to_string());
+    // Epoch 1 then clear() then epoch 2 must equal a fresh epoch-2 run.
+    auto reused = dsk::run_fragments(spec, s1, frags);
+    for (auto& f : reused) {
+      f.clear();
+      for (const auto& item : s2.items) f.add(item.key, item.count);
+    }
+    auto fresh = dsk::run_fragments(spec, s2, frags);
+    EXPECT_EQ(dsk::fold_fragments(reused).serialize(),
+              dsk::fold_fragments(fresh).serialize());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FragmentCounts, DiSketchProperty,
+                         ::testing::Values(1, 2, 4, 16));
+
+// Standalone sketch merges (net/sketch.h) keep their accuracy contracts
+// when combining independently built summaries.
+TEST(SketchMergeProperty, PlainCountMinMergeEqualsConcatenatedStream) {
+  auto a = dsk::make_zipf_stream(1, 200, 3000, 1.2);
+  auto b = dsk::make_zipf_stream(2, 200, 3000, 1.2);
+  net::CountMinSketch left(256, 4, net::kDefaultSketchSeed,
+                           net::CountMinSketch::Update::kPlain);
+  net::CountMinSketch right(256, 4, net::kDefaultSketchSeed,
+                            net::CountMinSketch::Update::kPlain);
+  net::CountMinSketch both(256, 4, net::kDefaultSketchSeed,
+                           net::CountMinSketch::Update::kPlain);
+  for (const auto& it : a.items) left.add(it.key), both.add(it.key);
+  for (const auto& it : b.items) right.add(it.key), both.add(it.key);
+  left.merge(right);
+  EXPECT_EQ(left.cells(), both.cells());
+  EXPECT_EQ(left.total_added(), both.total_added());
+}
+
+TEST(SketchMergeProperty, HllMergeEqualsUnionStream) {
+  auto a = dsk::make_zipf_stream(3, 500, 2000, 1.0);
+  auto b = dsk::make_zipf_stream(4, 500, 2000, 1.0);
+  net::HyperLogLog left(11), right(11), both(11);
+  for (const auto& it : a.items) left.add(it.key), both.add(it.key);
+  for (const auto& it : b.items) right.add(it.key), both.add(it.key);
+  left.merge(right);
+  EXPECT_EQ(left.registers(), both.registers());
+}
+
+TEST(SketchMergeProperty, MisraGriesMergeKeepsErrorBound) {
+  auto a = dsk::make_zipf_stream(5, 300, 5000, 1.3);
+  auto b = dsk::make_zipf_stream(6, 300, 5000, 1.3);
+  net::MisraGries left(32), right(32);
+  std::map<std::string, std::uint64_t> truth;
+  for (const auto& it : a.items) left.add(it.key), ++truth[it.key];
+  for (const auto& it : b.items) right.add(it.key), ++truth[it.key];
+  left.merge(right);
+  EXPECT_LE(left.size(), 32u);
+  // Agarwal-style merge guarantee: every estimate under-estimates by at
+  // most decremented(), which stays within N/(k+1) of the merged stream.
+  std::uint64_t n = left.total_added();
+  EXPECT_EQ(n, 10000u);
+  EXPECT_LE(left.decremented(), n / 33 + 1);
+  for (const auto& [key, est] : left.counters()) {
+    EXPECT_LE(est, truth[key]);
+    EXPECT_GE(est + left.decremented(), truth[key]);
+  }
+}
 
 }  // namespace
 }  // namespace farm

@@ -152,6 +152,116 @@ TEST(SketchBuiltinTest, HllDistinctCountThroughAlmanac) {
   EXPECT_NEAR(static_cast<double>(env.find("est")->as_int()), 250, 20);
 }
 
+// --- Misra-Gries -------------------------------------------------------------
+
+TEST(MisraGriesTest, ExactUnderCapacity) {
+  MisraGries mg(16);
+  for (int i = 0; i < 10; ++i)
+    mg.add("k" + std::to_string(i), static_cast<std::uint64_t>(i + 1));
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(mg.estimate("k" + std::to_string(i)),
+              static_cast<std::uint64_t>(i + 1));
+  EXPECT_EQ(mg.decremented(), 0u);
+}
+
+TEST(MisraGriesTest, HeavyHittersSurviveEviction) {
+  // 1 heavy key among many light ones: any key with true count >
+  // N/(capacity+1) must be tracked when the stream ends.
+  MisraGries mg(8);
+  for (int i = 0; i < 500; ++i) {
+    mg.add("heavy");
+    mg.add("light" + std::to_string(i));
+  }
+  EXPECT_LE(mg.size(), 8u);
+  EXPECT_GT(mg.estimate("heavy") + mg.decremented(), 400u);
+  auto hh = mg.hitters(1);
+  bool found = false;
+  for (const auto& [k, _] : hh) found |= k == "heavy";
+  EXPECT_TRUE(found);
+}
+
+TEST(MisraGriesTest, EstimateIsLowerBoundWithinDecrement) {
+  util::Rng rng(99);
+  MisraGries mg(32);
+  std::unordered_map<std::string, std::uint64_t> truth;
+  for (int i = 0; i < 20000; ++i) {
+    std::string key = "f" + std::to_string(rng.next_zipf(500, 1.2));
+    mg.add(key);
+    ++truth[key];
+  }
+  EXPECT_LE(mg.decremented(), 20000u / 33 + 1);
+  for (const auto& [key, est] : mg.counters()) {
+    EXPECT_LE(est, truth[key]);
+    EXPECT_GE(est + mg.decremented(), truth[key]);
+  }
+}
+
+TEST(MisraGriesTest, RestoreRoundTrip) {
+  MisraGries mg(8);
+  for (int i = 0; i < 100; ++i) mg.add("k" + std::to_string(i % 12));
+  MisraGries back = MisraGries::restore(mg.capacity(), mg.total_added(),
+                                        mg.decremented(), mg.counters());
+  EXPECT_EQ(back.counters(), mg.counters());
+  EXPECT_EQ(back.total_added(), mg.total_added());
+  EXPECT_EQ(back.decremented(), mg.decremented());
+}
+
+TEST(SketchBuiltinTest, MgHeavyHittersThroughAlmanac) {
+  auto program = almanac::parse_program(R"(
+    machine M {
+      sketch hot = mg_new(8);
+      long est = 0;
+      list hh;
+      state s {
+        when (enter) do {
+          long i = 0;
+          while (i < 50) {
+            mg_add(hot, "elephant", 10);
+            mg_add(hot, "mouse" + to_str(i), 1);
+            i = i + 1;
+          }
+          est = mg_estimate(hot, "elephant");
+          hh = mg_hitters(hot, 100);
+        }
+      }
+    }
+  )");
+  auto cm = almanac::compile_machine(program, "M");
+  almanac::Interpreter interp(cm, nullptr);
+  almanac::Env env;
+  for (const auto* v : cm.vars)
+    env.define(v->name, v->init ? interp.eval(*v->init, env)
+                                : almanac::Interpreter::default_value(v->type));
+  const auto* s = cm.state("s");
+  almanac::Env scope(&env);
+  interp.exec(s->events[0]->actions, scope);
+  // The elephant (true count 500 of 550) dominates every eviction round.
+  EXPECT_GT(env.find("est")->as_int(), 400);
+  ASSERT_EQ(env.find("hh")->as_list()->size(), 1u);
+  EXPECT_EQ((*env.find("hh")->as_list())[0].as_string(), "elephant");
+}
+
+TEST(SketchBuiltinTest, InvalidParamsThrowInsteadOfAborting) {
+  // FARM_CHECK aborts; the builtins must reject bad geometry with an
+  // EvalError so the Sickle linter's host-less evaluation survives.
+  auto run = [](const std::string& init) {
+    auto program = almanac::parse_program(
+        "machine M { sketch x = " + init + "; state s { } }");
+    auto cm = almanac::compile_machine(program, "M");
+    almanac::Interpreter interp(cm, nullptr);
+    almanac::Env env;
+    interp.eval(*cm.vars[0]->init, env);
+  };
+  EXPECT_THROW(run("cms_new(0, 4)"), almanac::EvalError);
+  EXPECT_THROW(run("cms_new(128, 99)"), almanac::EvalError);
+  EXPECT_THROW(run("mg_new(0)"), almanac::EvalError);
+  EXPECT_THROW(run("hll_new(3)"), almanac::EvalError);
+  EXPECT_THROW(run("hll_new(17)"), almanac::EvalError);
+  EXPECT_NO_THROW(run("cms_new(128, 4)"));
+  EXPECT_NO_THROW(run("mg_new(16)"));
+  EXPECT_NO_THROW(run("hll_new(12)"));
+}
+
 TEST(SketchBuiltinTest, TypeErrorsRaiseCleanly) {
   auto program = almanac::parse_program(R"(
     machine M {
