@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# verify-all: configure + build + test the six supported configurations
+# verify-all: configure + build + test the seven supported configurations
 # in sequence — default (RelWithDebInfo), Sickle lint over the corpus and
-# example seeds, the DiSketch accuracy goldens (`accuracy` label),
-# ASan+UBSan, telemetry compiled out, and TSan over the Combine-labelled
-# concurrency tests (the worker pool and the parallel placement/sweep
-# paths, run at FARM_THREADS=8). A final non-fatal
+# example seeds, the DiSketch accuracy goldens (`accuracy` label), the
+# Silo sharded-store suite at FARM_THREADS=16 (`silo` label — exercises
+# the multi-shard defaults and parallel query folds this host's core count
+# may not), ASan+UBSan, telemetry compiled out, and TSan over the
+# Combine-labelled concurrency tests (the worker pool and the parallel
+# placement/sweep paths, run at FARM_THREADS=8). A final non-fatal
 # clang-tidy stage (scripts/lint.sh) reports a finding count without
 # breaking the chain. Workflow presets cannot mix configure presets, so
 # each configuration is its own workflow and this script is the chain.
@@ -15,7 +17,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-workflows=(verify-default verify-lint verify-accuracy verify-asan verify-telemetry-off verify-tsan)
+workflows=(verify-default verify-lint verify-accuracy verify-silo verify-asan verify-telemetry-off verify-tsan)
 failed=()
 
 for wf in "${workflows[@]}"; do

@@ -2,12 +2,26 @@
 
 namespace farm::core {
 
+namespace {
+
+// Fix the Hub geometry before any member touches engine.telemetry()
+// lazily (MessageBus does, in the init list below) — configure_telemetry
+// refuses to run once a default Hub exists.
+sim::Engine& with_telemetry(sim::Engine& engine,
+                            const FarmSystemConfig& config) {
+  telemetry::HubConfig hub_config = config.hub;
+  hub_config.enabled = config.telemetry;
+  engine.configure_telemetry(hub_config);
+  return engine;
+}
+
+}  // namespace
+
 FarmSystem::FarmSystem(FarmSystemConfig config)
     : config_(config),
       fabric_(net::build_spine_leaf(config.topology)),
       controller_(fabric_.topo),
-      bus_(engine_) {
-  engine_.telemetry().set_enabled(config_.telemetry);
+      bus_(with_telemetry(engine_, config_)) {
   by_node_.assign(fabric_.topo.node_count(), nullptr);
   std::vector<Soil*> soil_ptrs;
   for (net::NodeId n : fabric_.topo.switches()) {

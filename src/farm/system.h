@@ -33,6 +33,9 @@ struct FarmSystemConfig {
   // (registrations still resolve; mutations short-circuit). The compile-time
   // kill switch is the FARM_TELEMETRY CMake option.
   bool telemetry = true;
+  // Hub geometry (event-store capacity, Silo shard count, ...). `enabled`
+  // is overridden by `telemetry` above.
+  telemetry::HubConfig hub;
 };
 
 class FarmSystem {

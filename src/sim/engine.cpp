@@ -59,11 +59,15 @@ bool Engine::step() {
 }
 
 telemetry::Hub& Engine::telemetry() {
-  if (!telemetry_) {
-    telemetry_ = std::make_unique<telemetry::Hub>();
-    telemetry_->set_clock([this] { return now_; });
-    events_metric_ = telemetry_->counter("sim.engine.events");
-  }
+  if (!telemetry_) configure_telemetry({});
+  return *telemetry_;
+}
+
+telemetry::Hub& Engine::configure_telemetry(telemetry::HubConfig config) {
+  FARM_CHECK(!telemetry_);  // store geometry is fixed at construction
+  telemetry_ = std::make_unique<telemetry::Hub>(config);
+  telemetry_->set_clock([this] { return now_; });
+  events_metric_ = telemetry_->counter("sim.engine.events");
   return *telemetry_;
 }
 

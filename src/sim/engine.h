@@ -65,6 +65,10 @@ class Engine {
   // this pay only a null-pointer check per executed event.
   telemetry::Hub& telemetry();
   bool has_telemetry() const { return telemetry_ != nullptr; }
+  // Creates the Hub with an explicit config (store capacity, silo shard
+  // count, ...). Must run before the first telemetry() call — the Hub's
+  // store geometry is fixed at construction.
+  telemetry::Hub& configure_telemetry(telemetry::HubConfig config);
 
  private:
   struct Event {

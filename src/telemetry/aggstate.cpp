@@ -1,0 +1,135 @@
+#include "telemetry/aggstate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace farm::telemetry {
+
+// Shewchuk grow-expansion step (the math.fsum accumulation loop): fold x
+// into the expansion, keeping partials nonzero, nonoverlapping, and
+// increasing in magnitude.
+void ExactSum::add(double x) {
+  std::size_t i = 0;
+  for (std::size_t j = 0; j < partials_.size(); ++j) {
+    double y = partials_[j];
+    if (std::fabs(x) < std::fabs(y)) std::swap(x, y);
+    const double hi = x + y;
+    const double lo = y - (hi - x);
+    if (lo != 0.0) partials_[i++] = lo;
+    x = hi;
+  }
+  partials_.resize(i);
+  partials_.push_back(x);
+}
+
+void ExactSum::merge(const ExactSum& other) {
+  // Same-object merge would mutate the vector being read.
+  if (&other == this) {
+    ExactSum copy = other;
+    for (double p : copy.partials_) add(p);
+    return;
+  }
+  for (double p : other.partials_) add(p);
+}
+
+double ExactSum::value() const {
+  if (partials_.empty()) return 0.0;
+  // Sum from largest to smallest; the first nonzero residual `lo` decides
+  // the round-half-even correction against the next-lower partial
+  // (CPython math.fsum finalization).
+  std::size_t n = partials_.size();
+  double hi = partials_[--n];
+  double lo = 0.0;
+  while (n > 0) {
+    const double x = hi;
+    const double y = partials_[--n];
+    hi = x + y;
+    const double yr = hi - x;
+    lo = y - yr;
+    if (lo != 0.0) break;
+  }
+  if (n > 0 && ((lo < 0.0 && partials_[n - 1] < 0.0) ||
+                (lo > 0.0 && partials_[n - 1] > 0.0))) {
+    const double y2 = lo * 2.0;
+    const double x = hi + y2;
+    if (y2 == x - hi) hi = x;
+  }
+  return hi;
+}
+
+void SortedValues::seal() { std::sort(vals.begin(), vals.end()); }
+
+void SortedValues::merge(SortedValues&& o) {
+  if (o.vals.empty()) return;
+  if (vals.empty()) {
+    vals = std::move(o.vals);
+    return;
+  }
+  std::vector<double> merged;
+  merged.reserve(vals.size() + o.vals.size());
+  std::merge(vals.begin(), vals.end(), o.vals.begin(), o.vals.end(),
+             std::back_inserter(merged));
+  vals = std::move(merged);
+}
+
+double SortedValues::percentile(double p) const {
+  if (vals.empty()) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  if (p <= 0) return vals.front();
+  if (p >= 100) return vals.back();
+  auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(vals.size())));
+  if (rank == 0) rank = 1;
+  return vals[rank - 1];
+}
+
+std::map<std::string, double> GroupSums::value() const {
+  std::map<std::string, double> out;
+  for (const auto& [k, s] : groups) out.emplace(k, s.value());
+  return out;
+}
+
+HistogramState::HistogramState(const HistogramSpec& spec)
+    : bounds_(spec.bounds), counts_(spec.bounds.size() + 1, 0) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    FARM_CHECK(bounds_[i - 1] < bounds_[i]);
+}
+
+void HistogramState::add(double v) {
+  FARM_CHECK(!counts_.empty());
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())]++;
+  ++total_;
+  sum_.add(v);
+}
+
+void HistogramState::merge(const HistogramState& o) {
+  if (o.counts_.empty()) return;
+  if (counts_.empty()) {
+    *this = o;
+    return;
+  }
+  FARM_CHECK(bounds_ == o.bounds_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+  total_ += o.total_;
+  sum_.merge(o.sum_);
+}
+
+double HistogramState::percentile(double p) const {
+  if (total_ == 0 || bounds_.empty()) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(total_)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= rank)
+      return i < bounds_.size() ? bounds_[i] : bounds_.back();
+  }
+  return bounds_.back();
+}
+
+}  // namespace farm::telemetry

@@ -1,0 +1,203 @@
+// Silo mergeable aggregate states — the partial half of every two-phase
+// (partial-state → fold) query aggregate, modeled on ClickHouse
+// AggregateFunction states (src/AggregateFunctions/): each state is built
+// independently per shard, merged pairwise in shard-index order, and only
+// then finalized into a scalar.
+//
+// Determinism contract (the one the silo_test goldens pin): for every state
+// S here, fold is associative and order-independent, so the finalized value
+// is a pure function of the *multiset* of observed rows — identical at any
+// shard count and any thread count. The two places where naive folding
+// would break that are handled explicitly:
+//
+//   * ExactSum — double addition is not associative, so per-shard partial
+//     sums folded pairwise would drift in the last ulp against a monolithic
+//     scan. ExactSum keeps Shewchuk's nonoverlapping expansion of the exact
+//     real sum (the math.fsum algorithm) and rounds once at finalization;
+//     the rounded value depends only on the exact sum, making + exactly
+//     associative. sum/mean/group-by all ride on it.
+//   * SortedValues — percentile used to be a full sort over one ring; the
+//     partial state is the shard's sorted run and fold is a sorted merge,
+//     so the merged sequence (a sorted multiset) is partition-independent
+//     and nearest-rank selection matches the monolithic full sort bit for
+//     bit.
+//
+// HeavyKeys (Misra-Gries over group-by keys, shared with net::MisraGries
+// via util::MisraGriesT) defers its capacity reduction to finalization —
+// key-wise summing is associative; a single end reduction keeps the
+// Agarwal error bound. Because Silo routes all rows of one metric to one
+// shard, each key's stream lives entirely in one partial state, and the
+// summary is exact (shard-count independent) whenever no per-shard table
+// overflows its capacity.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/registry.h"
+#include "util/heavy.h"
+
+namespace farm::telemetry {
+
+// Exactly-rounded double accumulation (Shewchuk expansions / math.fsum):
+// add() folds a value into a nonoverlapping expansion of the exact real
+// sum, merge() concatenates expansions, value() rounds the exact sum once
+// (round-half-even). Associative by construction; ±inf/NaN inputs degrade
+// like ordinary double sums.
+class ExactSum {
+ public:
+  void add(double x);
+  void merge(const ExactSum& other);
+  // The exact sum correctly rounded to double; 0.0 when nothing was added.
+  double value() const;
+  std::size_t terms() const { return partials_.size(); }
+
+ private:
+  // Nonzero partials, nonoverlapping, increasing in magnitude.
+  std::vector<double> partials_;
+};
+
+struct CountState {
+  std::uint64_t n = 0;
+  void add() { ++n; }
+  void merge(const CountState& o) { n += o.n; }
+};
+
+struct SumState {
+  ExactSum sum;
+  void add(double v) { sum.add(v); }
+  void merge(const SumState& o) { sum.merge(o.sum); }
+  double value() const { return sum.value(); }
+};
+
+struct MinState {
+  bool any = false;
+  double v = 0;
+  void add(double x) {
+    if (!any || x < v) v = x;
+    any = true;
+  }
+  void merge(const MinState& o) {
+    if (o.any) add(o.v);
+  }
+  double value() const { return any ? v : 0; }
+};
+
+struct MaxState {
+  bool any = false;
+  double v = 0;
+  void add(double x) {
+    if (!any || x > v) v = x;
+    any = true;
+  }
+  void merge(const MaxState& o) {
+    if (o.any) add(o.v);
+  }
+  double value() const { return any ? v : 0; }
+};
+
+struct MeanState {
+  ExactSum sum;
+  std::uint64_t n = 0;
+  void add(double v) {
+    sum.add(v);
+    ++n;
+  }
+  void merge(const MeanState& o) {
+    sum.merge(o.sum);
+    n += o.n;
+  }
+  double value() const {
+    return n == 0 ? 0 : sum.value() / static_cast<double>(n);
+  }
+};
+
+// Partial state for exact percentiles: the shard's values as a sorted run;
+// fold is a sorted merge. The merged run is the sorted multiset of all
+// values — identical to sorting the monolithic ring's matching rows.
+struct SortedValues {
+  std::vector<double> vals;  // sorted after seal()
+  void add(double v) { vals.push_back(v); }
+  void seal();  // sort the shard-local run (once, before merging)
+  void merge(SortedValues&& o);
+  // Nearest-rank percentile over the merged run; p clamped to [0, 100].
+  double percentile(double p) const;
+};
+
+// Group-by partial states: keyed exact sums / counts. std::map keys make
+// fold order irrelevant and render order deterministic.
+struct GroupSums {
+  std::map<std::string, ExactSum> groups;
+  void add(const std::string& key, double v) { groups[key].add(v); }
+  void merge(const GroupSums& o) {
+    for (const auto& [k, s] : o.groups) groups[k].merge(s);
+  }
+  std::map<std::string, double> value() const;
+};
+
+struct GroupCounts {
+  std::map<std::string, std::size_t> groups;
+  void add(const std::string& key) { ++groups[key]; }
+  void merge(const GroupCounts& o) {
+    for (const auto& [k, n] : o.groups) groups[k] += n;
+  }
+};
+
+// Heavy-hitter keys under bounded state: Misra-Gries per shard, key-wise
+// sum on fold, one Agarwal reduction at finalization (see file comment).
+class HeavyKeys {
+ public:
+  explicit HeavyKeys(int capacity = 64) : mg_(capacity) {}
+
+  void add(const std::string& key, std::uint64_t count = 1) {
+    mg_.add(key, count);
+  }
+  void merge(const HeavyKeys& o) { mg_.merge_defer(o.mg_); }
+  // Applies the deferred capacity reduction; call once after the fold.
+  void finalize() { mg_.finalize(); }
+
+  std::uint64_t estimate(const std::string& key) const {
+    return mg_.estimate(key);
+  }
+  std::vector<std::pair<std::string, std::uint64_t>> hitters(
+      std::uint64_t min_count = 1) const {
+    return mg_.hitters(min_count);
+  }
+  // Worst-case under-estimation of any reported count (0 ⇒ exact).
+  std::uint64_t error_bound() const { return mg_.decremented(); }
+  std::uint64_t total_added() const { return mg_.total_added(); }
+  int capacity() const { return mg_.capacity(); }
+
+ private:
+  util::MisraGriesT<std::string> mg_;
+};
+
+// Mergeable fixed-bucket histogram state: the bounded-memory percentile
+// alternative (bucket counts fold exactly; percentile resolves to a bucket
+// upper edge, same semantics as registry Histogram::percentile).
+class HistogramState {
+ public:
+  HistogramState() = default;
+  explicit HistogramState(const HistogramSpec& spec);
+
+  void add(double v);
+  void merge(const HistogramState& o);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  std::uint64_t total() const { return total_; }
+  double sum() const { return sum_.value(); }
+  // Upper edge of the bucket holding the p-th percentile observation
+  // (overflow bucket reports the largest finite bound); 0 when empty.
+  double percentile(double p) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 (overflow)
+  std::uint64_t total_ = 0;
+  ExactSum sum_;
+};
+
+}  // namespace farm::telemetry

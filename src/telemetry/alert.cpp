@@ -4,7 +4,13 @@
 #include <cctype>
 #include <charconv>
 
+#include "util/pool.h"
+
 namespace farm::telemetry {
+
+// Instance-count floor for the parallel evaluation phase: below this the
+// fan-out overhead beats the registry reads it distributes.
+constexpr std::size_t kParallelAlerts = 256;
 
 std::string to_string(SloKind kind) {
   switch (kind) {
@@ -205,57 +211,78 @@ std::optional<double> AlertManager::measure(const SloRule& rule, Alert& a,
   return std::nullopt;
 }
 
-void AlertManager::transition(Alert& a, AlertState to, TimePoint now) {
-  a.state = to;
-  ++transitions_;
+AlertManager::Step AlertManager::step_alert(Alert& a, TimePoint now) {
+  Step out;
+  const SloRule& rule = rules_[a.rule];
+  std::optional<double> m = measure(rule, a, now);
+  if (!m) return out;
+  a.value = *m;
+  const bool breach = rule.op == SloOp::kGreater ? *m > rule.threshold
+                                                 : *m < rule.threshold;
   const RuleMarks& marks = marks_[a.rule];
-  switch (to) {
+  auto go = [&](AlertState to) {
+    a.state = to;
+    switch (to) {
+      case AlertState::kPending:
+        a.pending_since = now;
+        out.marks[out.n++] = {marks.pending, a.value};
+        break;
+      case AlertState::kFiring:
+        a.firing_since = now;
+        ++a.fires;
+        out.marks[out.n++] = {marks.firing, a.value};
+        break;
+      case AlertState::kResolved:
+        a.resolved_at = now;
+        out.marks[out.n++] = {marks.resolved, a.value};
+        break;
+      case AlertState::kInactive:
+        break;  // pending that cleared before the hold elapsed; no mark
+    }
+  };
+  switch (a.state) {
+    case AlertState::kInactive:
+    case AlertState::kResolved:
+      if (breach) {
+        go(AlertState::kPending);
+        if (!rule.hold.is_positive()) go(AlertState::kFiring);
+      }
+      break;
     case AlertState::kPending:
-      a.pending_since = now;
-      hub_.mark(marks.pending, a.value);
+      if (!breach)
+        a.state = AlertState::kInactive;  // cleared before the hold; silent
+      else if (now - a.pending_since >= rule.hold)
+        go(AlertState::kFiring);
       break;
     case AlertState::kFiring:
-      a.firing_since = now;
-      ++a.fires;
-      hub_.mark(marks.firing, a.value);
+      if (!breach) go(AlertState::kResolved);
       break;
-    case AlertState::kResolved:
-      a.resolved_at = now;
-      hub_.mark(marks.resolved, a.value);
-      break;
-    case AlertState::kInactive:
-      break;  // pending that cleared before the hold elapsed; no mark
   }
+  return out;
 }
 
 void AlertManager::evaluate(TimePoint now) {
   ++evaluations_;
   for (std::size_t r = 0; r < rules_.size(); ++r) discover(r);
-  for (Alert& a : alerts_) {
-    const SloRule& rule = rules_[a.rule];
-    std::optional<double> m = measure(rule, a, now);
-    if (!m) continue;
-    a.value = *m;
-    const bool breach = rule.op == SloOp::kGreater ? *m > rule.threshold
-                                                   : *m < rule.threshold;
-    switch (a.state) {
-      case AlertState::kInactive:
-      case AlertState::kResolved:
-        if (breach) {
-          transition(a, AlertState::kPending, now);
-          if (!rule.hold.is_positive()) transition(a, AlertState::kFiring, now);
-        }
-        break;
-      case AlertState::kPending:
-        if (!breach)
-          a.state = AlertState::kInactive;  // cleared before the hold; silent
-        else if (now - a.pending_since >= rule.hold)
-          transition(a, AlertState::kFiring, now);
-        break;
-      case AlertState::kFiring:
-        if (!breach) transition(a, AlertState::kResolved, now);
-        break;
-    }
+  // Phase 1 — per-instance measure + state machine. Each step mutates only
+  // its own Alert and reads only live registry aggregates, so large fleets
+  // fan out on the Combine pool; small ones (the common case) stay on the
+  // caller's thread where the fan-out would cost more than the work.
+  std::vector<Step> steps(alerts_.size());
+  util::ThreadPool& pool = util::ThreadPool::shared();
+  if (alerts_.size() >= kParallelAlerts && pool.size() > 1) {
+    pool.parallel_for(alerts_.size(), [&](std::size_t i) {
+      steps[i] = step_alert(alerts_[i], now);
+    });
+  } else {
+    for (std::size_t i = 0; i < alerts_.size(); ++i)
+      steps[i] = step_alert(alerts_[i], now);
+  }
+  // Phase 2 — fold: emit the planned transition marks in alert index
+  // order, the exact append sequence a sequential evaluation produces.
+  for (const Step& s : steps) {
+    transitions_ += static_cast<std::uint64_t>(s.n);
+    for (int i = 0; i < s.n; ++i) hub_.mark(s.marks[i].first, s.marks[i].second);
   }
   hub_.level(m_firing_total_, static_cast<double>(firing_count()));
 }

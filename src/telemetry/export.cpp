@@ -53,7 +53,7 @@ std::string num(double v) {
 void write_chrome_trace(std::ostream& os, const Hub& hub,
                         const ChromeTraceOptions& options) {
   const Tracer& tracer = hub.tracer();
-  const EventStore& store = hub.events();
+  const SiloStore& store = hub.events();
   const Registry& reg = hub.registry();
   bool first = true;
   auto sep = [&] {
@@ -86,11 +86,11 @@ void write_chrome_trace(std::ostream& os, const Hub& hub,
   // retained prefix (including rows below `begin`) into per-metric levels
   // in one pass so truncated exports still show correct totals.
   std::vector<double> level(reg.size(), 0);
-  for (std::size_t i = 0; i < store.size(); ++i) {
-    EventRow r = store.row(i);
+  std::size_t i = 0;
+  store.for_each_ordered([&](const EventRow& r) {
     if (r.kind == EventKind::kAdd && r.metric < level.size())
       level[r.metric] += r.value;
-    if (i < begin) continue;
+    if (i++ < begin) return;
     const std::string& name = reg.name(r.metric);
     sep();
     if (r.kind == EventKind::kMark) {
@@ -107,7 +107,7 @@ void write_chrome_trace(std::ostream& os, const Hub& hub,
          << "\"ts\":" << us(r.at) << ",\"args\":{\"value\":" << num(v)
          << "}}";
     }
-  }
+  });
   os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
      << "\"clock\":\"sim-virtual-time\",\"reason\":\""
      << json_escape(options.reason) << "\",\"events_total\":"

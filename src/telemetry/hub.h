@@ -13,11 +13,14 @@
 //     predictable branch; registration and queries still work.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <string_view>
+#include <vector>
 
 #include "telemetry/registry.h"
+#include "telemetry/silo.h"
 #include "telemetry/store.h"
 #include "telemetry/trace.h"
 
@@ -28,6 +31,9 @@ class FlightRecorder;
 struct HubConfig {
   std::size_t store_capacity = EventStore::kDefaultCapacity;
   std::size_t track_capacity = Tracer::kDefaultTrackCapacity;
+  // Event-store shards; 0 → one per default worker thread (silo.h). Pin to
+  // 1 for exact single-ring eviction semantics (e.g. capacity tests).
+  std::size_t silo_shards = 0;
   bool enabled = true;
 };
 
@@ -56,8 +62,8 @@ class Hub {
 
   Registry& registry() { return registry_; }
   const Registry& registry() const { return registry_; }
-  EventStore& events() { return store_; }
-  const EventStore& events() const { return store_; }
+  SiloStore& events() { return store_; }
+  const SiloStore& events() const { return store_; }
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
   FlightRecorder& flight() { return *flight_; }
@@ -146,13 +152,21 @@ class Hub {
 
   Query query() const { return Query(store_, registry_); }
 
+  // Registers (first call) and refreshes the silo.shard.<i>.{appended,
+  // events,dropped} gauge family — registry-only levels (no ring rows), so
+  // Scarecrow can watch shard health without the gauges themselves flooding
+  // the very rings they describe. Scarecrow calls this each evaluation tick.
+  void publish_silo_gauges();
+
  private:
   bool enabled_;
   std::function<TimePoint()> clock_;
   Registry registry_;
-  EventStore store_;
+  SiloStore store_;
   Tracer tracer_;
   std::unique_ptr<FlightRecorder> flight_;
+  // silo.shard.<i>.{appended, events, dropped} gauge ids, by shard.
+  std::vector<std::array<MetricId, 3>> shard_gauges_;
 };
 
 // RAII span for scopes that cover a contiguous stretch of virtual time

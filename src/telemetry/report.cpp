@@ -55,7 +55,8 @@ void write_farm_report(std::ostream& os, const ReportInputs& in) {
                                              : "compiled out")
      << "; metrics " << hub.registry().size() << "; events "
      << hub.events().total_appended() << " recorded, " << hub.events().dropped()
-     << " evicted\n";
+     << " evicted (" << hub.events().shard_count() << " silo shard"
+     << (hub.events().shard_count() == 1 ? "" : "s") << ")\n";
 
   if (in.health) {
     os << "\n--- fabric health ---\n";
@@ -100,7 +101,8 @@ void write_farm_report_json(std::ostream& os, const ReportInputs& in) {
                             : "compiled-out")
      << "\",\"events\":{\"appended\":" << hub.events().total_appended()
      << ",\"retained\":" << hub.events().size()
-     << ",\"dropped\":" << hub.events().dropped() << "}";
+     << ",\"dropped\":" << hub.events().dropped()
+     << ",\"silo_shards\":" << hub.events().shard_count() << "}";
 
   os << ",\"alerts\":[";
   if (in.alerts) {

@@ -1,0 +1,413 @@
+#include "telemetry/silo.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/pool.h"
+#include "util/rng.h"
+
+namespace farm::telemetry {
+
+// --- SiloStore ---------------------------------------------------------------
+
+SiloStore::SiloStore(SiloConfig config) {
+  std::size_t n = config.shards;
+  if (n == 0)
+    n = static_cast<std::size_t>(
+        std::max(1, util::ThreadPool::default_threads()));
+  // Split the row budget evenly; every shard holds at least one row.
+  std::size_t per_shard = std::max<std::size_t>(1, config.capacity / n);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) shards_.emplace_back(per_shard);
+}
+
+std::size_t SiloStore::shard_of(MetricId metric) const {
+  // Pure integer mixing (SplitMix64 via derive_seed) — no byte views, so
+  // the route is identical on any platform/endianness.
+  return util::derive_seed(kSiloShardSeed, metric) % shards_.size();
+}
+
+void SiloStore::append(TimePoint at, MetricId metric, EventKind kind,
+                       double value) {
+  shards_[shard_of(metric)].append_seq(at, metric, kind, value, next_seq_++);
+}
+
+std::size_t SiloStore::size() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s.size();
+  return n;
+}
+
+std::size_t SiloStore::capacity() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s.capacity();
+  return n;
+}
+
+void SiloStore::clear() {
+  for (auto& s : shards_) s.clear();
+}
+
+void SiloStore::for_each_ordered(
+    const std::function<void(const EventRow&)>& fn) const {
+  if (shards_.size() == 1) {
+    const EventStore& s = shards_[0];
+    s.scan([&](std::int64_t at, MetricId m, EventKind k, double v,
+               std::uint64_t seq) {
+      fn(EventRow{TimePoint::from_ns(at), m, k, v, seq});
+      return true;
+    });
+    return;
+  }
+  // K-way merge by sequence number over the shard fronts (each shard is
+  // already seq-ascending oldest → newest). Shard counts are small, so a
+  // linear min scan beats a heap.
+  std::vector<std::size_t> idx(shards_.size(), 0);
+  for (;;) {
+    std::size_t best = shards_.size();
+    std::uint64_t best_seq = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (idx[i] >= shards_[i].size()) continue;
+      std::uint64_t s = shards_[i].row(idx[i]).seq;
+      if (s < best_seq) {
+        best_seq = s;
+        best = i;
+      }
+    }
+    if (best == shards_.size()) return;
+    fn(shards_[best].row(idx[best]++));
+  }
+}
+
+// --- Query fold engine -------------------------------------------------------
+
+// The per-query resolved filter: metric admission memoized per MetricId
+// over the registry (label patterns are matched once per metric, never per
+// row), time window as raw ns, and the shard list to scan.
+struct Query::Resolved {
+  explicit Resolved(const Query& q) : registry(q.registry_) {
+    if (q.store_) {
+      shards.push_back(q.store_);
+    } else {
+      shards.reserve(q.silo_->shard_count());
+      for (std::size_t i = 0; i < q.silo_->shard_count(); ++i)
+        shards.push_back(&q.silo_->shard(i));
+    }
+    has_kind = q.kind_.has_value();
+    if (has_kind) kind = *q.kind_;
+    since_ns =
+        q.since_ ? q.since_->count_ns() : std::numeric_limits<std::int64_t>::min();
+    until_ns =
+        q.until_ ? q.until_->count_ns() : std::numeric_limits<std::int64_t>::max();
+    all = !q.metric_ && !q.pattern_;
+    if (!all) {
+      ok.assign(registry->size(), 0);
+      for (std::size_t id = 0; id < ok.size(); ++id) {
+        auto mid = static_cast<MetricId>(id);
+        if (q.metric_ && mid != *q.metric_) continue;
+        if (q.pattern_ && !label_matches(registry->name(mid), *q.pattern_))
+          continue;
+        ok[id] = 1;
+      }
+    }
+  }
+
+  bool admit(MetricId m, EventKind k, std::int64_t at_ns) const {
+    if (has_kind && k != kind) return false;
+    if (at_ns < since_ns || at_ns > until_ns) return false;
+    return all || (m < ok.size() && ok[m] != 0);
+  }
+
+  // Group-by memo: the i-th label component of every admissible metric,
+  // resolved once per query instead of once per row.
+  std::vector<std::string> components(int comp) const {
+    std::vector<std::string> out(all ? registry->size() : ok.size());
+    for (std::size_t id = 0; id < out.size(); ++id)
+      if (all || ok[id] != 0)
+        out[id] = std::string(
+            label_component(registry->name(static_cast<MetricId>(id)), comp));
+    return out;
+  }
+
+  const Registry* registry;
+  std::vector<const EventStore*> shards;
+  bool all = false;
+  std::vector<std::uint8_t> ok;  // indexed by MetricId; unused when `all`
+  bool has_kind = false;
+  EventKind kind = EventKind::kMark;
+  std::int64_t since_ns = 0;
+  std::int64_t until_ns = 0;
+};
+
+namespace {
+
+// Below this many total rows the fan-out overhead beats the scan itself —
+// stay sequential (still shard-by-shard in index order, so the fold path
+// is identical either way).
+constexpr std::size_t kParallelRowThreshold = 4096;
+
+// Partial-state → fold driver: one State per shard (built on the Combine
+// pool when sharded and large), merged in shard-index order. Every State in
+// aggstate.h has an associative, order-independent merge, so the result is
+// bit-identical to a monolithic sequential scan.
+template <typename State, typename PerShard>
+State fold_shards(const std::vector<const EventStore*>& shards,
+                  PerShard&& per_shard) {
+  if (shards.size() == 1) return per_shard(*shards[0]);
+  std::size_t rows = 0;
+  for (const EventStore* s : shards) rows += s->size();
+  std::vector<State> parts;
+  util::ThreadPool& pool = util::ThreadPool::shared();
+  if (pool.size() > 1 && rows >= kParallelRowThreshold) {
+    parts = pool.parallel_map<State>(
+        shards.size(), [&](std::size_t i) { return per_shard(*shards[i]); });
+  } else {
+    parts.reserve(shards.size());
+    for (const EventStore* s : shards) parts.push_back(per_shard(*s));
+  }
+  State acc = std::move(parts.front());
+  for (std::size_t i = 1; i < parts.size(); ++i) acc.merge(std::move(parts[i]));
+  return acc;
+}
+
+// Scans one shard, feeding admitted row values to `state`.
+template <typename State, typename Resolved>
+State scan_values(const EventStore& shard, const Resolved& res) {
+  State st;
+  shard.scan([&](std::int64_t at, MetricId m, EventKind k, double v,
+                 std::uint64_t) {
+    if (res.admit(m, k, at)) st.add(v);
+    return true;
+  });
+  return st;
+}
+
+struct FirstState {
+  std::optional<EventRow> r;
+  void merge(const FirstState& o) {
+    if (o.r && (!r || o.r->seq < r->seq)) r = o.r;
+  }
+};
+
+struct LastState {
+  std::optional<EventRow> r;
+  void merge(const LastState& o) {
+    if (o.r && (!r || o.r->seq > r->seq)) r = o.r;
+  }
+};
+
+// Matching rows in seq order; fold is a sorted merge by seq (each shard's
+// matches are already seq-ascending).
+struct RowsState {
+  std::vector<EventRow> v;
+  void merge(RowsState&& o) {
+    if (o.v.empty()) return;
+    if (v.empty()) {
+      v = std::move(o.v);
+      return;
+    }
+    std::vector<EventRow> merged;
+    merged.reserve(v.size() + o.v.size());
+    std::merge(v.begin(), v.end(), o.v.begin(), o.v.end(),
+               std::back_inserter(merged),
+               [](const EventRow& a, const EventRow& b) { return a.seq < b.seq; });
+    v = std::move(merged);
+  }
+};
+
+}  // namespace
+
+// --- Query aggregates --------------------------------------------------------
+
+std::size_t Query::count() const {
+  Resolved res(*this);
+  auto st = fold_shards<CountState>(res.shards, [&](const EventStore& s) {
+    CountState c;
+    s.scan([&](std::int64_t at, MetricId m, EventKind k, double,
+               std::uint64_t) {
+      if (res.admit(m, k, at)) c.add();
+      return true;
+    });
+    return c;
+  });
+  return static_cast<std::size_t>(st.n);
+}
+
+double Query::sum() const {
+  Resolved res(*this);
+  return fold_shards<SumState>(res.shards, [&](const EventStore& s) {
+    return scan_values<SumState>(s, res);
+  }).value();
+}
+
+double Query::total() const {
+  // Registry aggregates only — shard- and eviction-independent by
+  // construction, so no fold is needed (or wanted: registry order is the
+  // deterministic order).
+  double s = 0;
+  for (MetricId id = 0; id < registry_->size(); ++id) {
+    if (metric_ && id != *metric_) continue;
+    if (pattern_ && !label_matches(registry_->name(id), *pattern_)) continue;
+    s += registry_->value(id);
+  }
+  return s;
+}
+
+double Query::min() const {
+  Resolved res(*this);
+  return fold_shards<MinState>(res.shards, [&](const EventStore& s) {
+    return scan_values<MinState>(s, res);
+  }).value();
+}
+
+double Query::max() const {
+  Resolved res(*this);
+  return fold_shards<MaxState>(res.shards, [&](const EventStore& s) {
+    return scan_values<MaxState>(s, res);
+  }).value();
+}
+
+double Query::mean() const {
+  Resolved res(*this);
+  return fold_shards<MeanState>(res.shards, [&](const EventStore& s) {
+    return scan_values<MeanState>(s, res);
+  }).value();
+}
+
+double Query::percentile(double p) const {
+  Resolved res(*this);
+  auto sv = fold_shards<SortedValues>(res.shards, [&](const EventStore& s) {
+    SortedValues v = scan_values<SortedValues>(s, res);
+    v.seal();
+    return v;
+  });
+  return sv.percentile(p);
+}
+
+std::optional<EventRow> Query::first() const {
+  Resolved res(*this);
+  auto st = fold_shards<FirstState>(res.shards, [&](const EventStore& s) {
+    FirstState f;
+    s.scan([&](std::int64_t at, MetricId m, EventKind k, double v,
+               std::uint64_t seq) {
+      if (!res.admit(m, k, at)) return true;
+      f.r = EventRow{TimePoint::from_ns(at), m, k, v, seq};
+      return false;  // early exit: first admitted row of this shard
+    });
+    return f;
+  });
+  return st.r;
+}
+
+std::optional<EventRow> Query::last() const {
+  Resolved res(*this);
+  auto st = fold_shards<LastState>(res.shards, [&](const EventStore& s) {
+    LastState l;
+    s.scan_reverse([&](std::int64_t at, MetricId m, EventKind k, double v,
+                       std::uint64_t seq) {
+      if (!res.admit(m, k, at)) return true;
+      l.r = EventRow{TimePoint::from_ns(at), m, k, v, seq};
+      return false;  // early exit: newest admitted row of this shard
+    });
+    return l;
+  });
+  return st.r;
+}
+
+double Query::last_value(double fallback) const {
+  auto r = last();
+  return r ? r->value : fallback;
+}
+
+std::vector<EventRow> Query::rows() const {
+  Resolved res(*this);
+  auto st = fold_shards<RowsState>(res.shards, [&](const EventStore& s) {
+    RowsState out;
+    s.scan([&](std::int64_t at, MetricId m, EventKind k, double v,
+               std::uint64_t seq) {
+      if (res.admit(m, k, at))
+        out.v.push_back(EventRow{TimePoint::from_ns(at), m, k, v, seq});
+      return true;
+    });
+    return out;
+  });
+  return std::move(st.v);
+}
+
+void Query::for_each(const std::function<void(const EventRow&)>& fn) const {
+  Resolved res(*this);
+  if (res.shards.size() == 1) {
+    // Monolithic fast path: stream straight off the ring, no buffering.
+    res.shards[0]->scan([&](std::int64_t at, MetricId m, EventKind k, double v,
+                            std::uint64_t seq) {
+      if (res.admit(m, k, at))
+        fn(EventRow{TimePoint::from_ns(at), m, k, v, seq});
+      return true;
+    });
+    return;
+  }
+  for (const EventRow& r : rows()) fn(r);
+}
+
+std::map<std::string, double> Query::sum_by_component(int i) const {
+  Resolved res(*this);
+  const std::vector<std::string> comp = res.components(i);
+  auto st = fold_shards<GroupSums>(res.shards, [&](const EventStore& s) {
+    GroupSums g;
+    s.scan([&](std::int64_t at, MetricId m, EventKind k, double v,
+               std::uint64_t) {
+      if (res.admit(m, k, at))
+        g.add(m < comp.size() ? comp[m] : std::string(), v);
+      return true;
+    });
+    return g;
+  });
+  return st.value();
+}
+
+std::map<std::string, std::size_t> Query::count_by_component(int i) const {
+  Resolved res(*this);
+  const std::vector<std::string> comp = res.components(i);
+  auto st = fold_shards<GroupCounts>(res.shards, [&](const EventStore& s) {
+    GroupCounts g;
+    s.scan([&](std::int64_t at, MetricId m, EventKind k, double,
+               std::uint64_t) {
+      if (res.admit(m, k, at)) g.add(m < comp.size() ? comp[m] : std::string());
+      return true;
+    });
+    return g;
+  });
+  return st.groups;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Query::heavy_hitters(
+    int component, int capacity, std::uint64_t min_count) const {
+  Resolved res(*this);
+  const std::vector<std::string> comp = res.components(component);
+  auto st = fold_shards<HeavyKeys>(res.shards, [&](const EventStore& s) {
+    HeavyKeys h(capacity);
+    s.scan([&](std::int64_t at, MetricId m, EventKind k, double,
+               std::uint64_t) {
+      if (res.admit(m, k, at)) h.add(m < comp.size() ? comp[m] : std::string());
+      return true;
+    });
+    return h;
+  });
+  st.finalize();
+  return st.hitters(min_count);
+}
+
+HistogramState Query::value_histogram(const HistogramSpec& spec) const {
+  Resolved res(*this);
+  return fold_shards<HistogramState>(res.shards, [&](const EventStore& s) {
+    HistogramState h(spec);
+    s.scan([&](std::int64_t at, MetricId m, EventKind k, double v,
+               std::uint64_t) {
+      if (res.admit(m, k, at)) h.add(v);
+      return true;
+    });
+    return h;
+  });
+}
+
+}  // namespace farm::telemetry

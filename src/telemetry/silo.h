@@ -1,0 +1,75 @@
+// Silo — sharded, mergeable columnar telemetry store.
+//
+// One SiloStore owns N EventStore rings ("shards"). Appends route to a
+// shard by a stable hash of the MetricId (util::derive_seed integer mixing
+// seeded with kSiloShardSeed — platform-independent, so a given metric
+// lands on the same shard everywhere), and every append is stamped
+// with one store-wide sequence number so merged shard scans recover the
+// exact monolithic append order.
+//
+// Routing by metric (not round-robin) is what makes the scheme both fast
+// and exact:
+//   * a hot metric's rows are contiguous in one shard's columns — scans
+//     stay cache-friendly;
+//   * group-by keys (per-metric label components) never straddle shards,
+//     so bounded-state summaries (HeavyKeys) fold exactly;
+//   * per-shard eviction approximates global eviction per metric family
+//     rather than slicing every family's history N ways.
+//
+// Queries (store.h Query) evaluate against a SiloStore as partial-state →
+// fold: each shard scan produces an aggstate.h partial, shards run on the
+// Combine pool (util::ThreadPool::shared()) when the store is sharded and
+// large enough to pay for the fan-out, and partials merge in shard-index
+// order. Results are bit-identical to the single-ring store at any shard
+// and thread count (DESIGN.md §12 gives the argument per aggregate).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "telemetry/store.h"
+
+namespace farm::telemetry {
+
+// Seed for the metric → shard route hash. Changing it reshuffles shard
+// assignment (and therefore per-shard eviction order) — pinned by tests.
+inline constexpr std::uint64_t kSiloShardSeed = 0x5110'05AD'C01'F0CCull;
+
+struct SiloConfig {
+  // 0 → one shard per default worker thread (ThreadPool::default_threads(),
+  // min 1): shards ≈ threads is where parallel folding saturates.
+  std::size_t shards = 0;
+  // Total row budget, split evenly across shards (each shard gets at least
+  // one row). A 1-shard silo with capacity C is exactly the old EventStore.
+  std::size_t capacity = EventStore::kDefaultCapacity;
+};
+
+class SiloStore {
+ public:
+  explicit SiloStore(SiloConfig config = {});
+
+  void append(TimePoint at, MetricId metric, EventKind kind, double value);
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t shard_of(MetricId metric) const;
+  const EventStore& shard(std::size_t i) const { return shards_[i]; }
+
+  // Retained rows / row budget / lifetime appends across all shards.
+  std::size_t size() const;
+  std::size_t capacity() const;
+  std::uint64_t total_appended() const { return next_seq_; }
+  std::uint64_t dropped() const { return total_appended() - size(); }
+  void clear();
+
+  // All retained rows oldest → newest in exact append (sequence) order —
+  // the exporters' merged view. Single-shard stores stream straight off the
+  // ring; sharded stores k-way merge by sequence number.
+  void for_each_ordered(const std::function<void(const EventRow&)>& fn) const;
+
+ private:
+  std::vector<EventStore> shards_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace farm::telemetry

@@ -1,8 +1,8 @@
 #include "telemetry/store.h"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
+
+#include "util/check.h"
 
 namespace farm::telemetry {
 
@@ -23,12 +23,19 @@ EventStore::EventStore(std::size_t capacity) : capacity_(capacity) {
 
 void EventStore::append(TimePoint at, MetricId metric, EventKind kind,
                         double value) {
+  append_seq(at, metric, kind, value, appended_);
+}
+
+void EventStore::append_seq(TimePoint at, MetricId metric, EventKind kind,
+                            double value, std::uint64_t seq) {
   ++appended_;
+  if (kind != EventKind::kMark) ++data_appended_;
   if (size_ < capacity_) {
     at_ns_.push_back(at.count_ns());
     metric_.push_back(metric);
     kind_.push_back(kind);
     value_.push_back(value);
+    seq_.push_back(seq);
     ++size_;
     return;
   }
@@ -37,13 +44,15 @@ void EventStore::append(TimePoint at, MetricId metric, EventKind kind,
   metric_[head_] = metric;
   kind_[head_] = kind;
   value_[head_] = value;
+  seq_[head_] = seq;
   head_ = (head_ + 1) % capacity_;
 }
 
 EventRow EventStore::row(std::size_t i) const {
   FARM_DCHECK(i < size_);
   std::size_t s = slot(i);
-  return {TimePoint::from_ns(at_ns_[s]), metric_[s], kind_[s], value_[s]};
+  return {TimePoint::from_ns(at_ns_[s]), metric_[s], kind_[s], value_[s],
+          seq_[s]};
 }
 
 void EventStore::clear() {
@@ -51,125 +60,8 @@ void EventStore::clear() {
   metric_.clear();
   kind_.clear();
   value_.clear();
+  seq_.clear();
   head_ = size_ = 0;
-}
-
-bool Query::matches(const EventRow& r) const {
-  if (metric_ && r.metric != *metric_) return false;
-  if (kind_ && r.kind != *kind_) return false;
-  if (since_ && r.at < *since_) return false;
-  if (until_ && r.at > *until_) return false;
-  if (pattern_ && !label_matches(registry_->name(r.metric), *pattern_))
-    return false;
-  return true;
-}
-
-void Query::for_each(const std::function<void(const EventRow&)>& fn) const {
-  for (std::size_t i = 0; i < store_->size(); ++i) {
-    EventRow r = store_->row(i);
-    if (matches(r)) fn(r);
-  }
-}
-
-std::size_t Query::count() const {
-  std::size_t n = 0;
-  for_each([&](const EventRow&) { ++n; });
-  return n;
-}
-
-double Query::sum() const {
-  double s = 0;
-  for_each([&](const EventRow& r) { s += r.value; });
-  return s;
-}
-
-double Query::total() const {
-  double s = 0;
-  for (MetricId id = 0; id < registry_->size(); ++id) {
-    if (metric_ && id != *metric_) continue;
-    if (pattern_ && !label_matches(registry_->name(id), *pattern_)) continue;
-    s += registry_->value(id);
-  }
-  return s;
-}
-
-double Query::min() const {
-  double m = std::numeric_limits<double>::infinity();
-  for_each([&](const EventRow& r) { m = std::min(m, r.value); });
-  return std::isinf(m) ? 0 : m;
-}
-
-double Query::max() const {
-  double m = -std::numeric_limits<double>::infinity();
-  for_each([&](const EventRow& r) { m = std::max(m, r.value); });
-  return std::isinf(m) ? 0 : m;
-}
-
-double Query::mean() const {
-  double s = 0;
-  std::size_t n = 0;
-  for_each([&](const EventRow& r) {
-    s += r.value;
-    ++n;
-  });
-  return n == 0 ? 0 : s / static_cast<double>(n);
-}
-
-double Query::percentile(double p) const {
-  std::vector<double> vals;
-  for_each([&](const EventRow& r) { vals.push_back(r.value); });
-  if (vals.empty()) return 0;
-  p = std::clamp(p, 0.0, 100.0);
-  std::sort(vals.begin(), vals.end());
-  if (p <= 0) return vals.front();
-  if (p >= 100) return vals.back();
-  auto rank = static_cast<std::size_t>(
-      std::ceil(p / 100.0 * static_cast<double>(vals.size())));
-  if (rank == 0) rank = 1;
-  return vals[rank - 1];
-}
-
-std::optional<EventRow> Query::first() const {
-  for (std::size_t i = 0; i < store_->size(); ++i) {
-    EventRow r = store_->row(i);
-    if (matches(r)) return r;
-  }
-  return std::nullopt;
-}
-
-std::optional<EventRow> Query::last() const {
-  for (std::size_t i = store_->size(); i > 0; --i) {
-    EventRow r = store_->row(i - 1);
-    if (matches(r)) return r;
-  }
-  return std::nullopt;
-}
-
-double Query::last_value(double fallback) const {
-  auto r = last();
-  return r ? r->value : fallback;
-}
-
-std::vector<EventRow> Query::rows() const {
-  std::vector<EventRow> out;
-  for_each([&](const EventRow& r) { out.push_back(r); });
-  return out;
-}
-
-std::map<std::string, double> Query::sum_by_component(int i) const {
-  std::map<std::string, double> out;
-  for_each([&](const EventRow& r) {
-    out[std::string(label_component(registry_->name(r.metric), i))] += r.value;
-  });
-  return out;
-}
-
-std::map<std::string, std::size_t> Query::count_by_component(int i) const {
-  std::map<std::string, std::size_t> out;
-  for_each([&](const EventRow& r) {
-    ++out[std::string(label_component(registry_->name(r.metric), i))];
-  });
-  return out;
 }
 
 }  // namespace farm::telemetry

@@ -1,0 +1,151 @@
+// Misra-Gries heavy-hitter summary, generic over the key type.
+//
+// Extracted from net::MisraGries (src/net/sketch.h) so the Silo telemetry
+// aggregates can share the exact algebra without linking farm_net (which
+// depends on farm_sim and hence farm_telemetry — the reuse has to flow
+// through farm_util). net::MisraGries is now a thin adapter over
+// MisraGriesT<std::string>; behavior is bit-for-bit what it was.
+//
+// The summary keeps at most `capacity` exact-key counters; when a new key
+// arrives with the table full, every counter drops by the table minimum and
+// zeroed slots free up. estimate(x) under-estimates the true count by at
+// most decremented(); keys with true count > decremented() are guaranteed
+// present. State lives in a sorted map so iteration and serialization are
+// deterministic.
+//
+// Two merge modes:
+//   merge()       — Agarwal-style fold: sum counters key-wise, then reduce
+//                   back to capacity by subtracting the (capacity+1)-th
+//                   largest count. Preserves the N/(k+1) error bound of the
+//                   concatenated streams, but is not exactly associative
+//                   (intermediate reductions can differ across fold trees).
+//   merge_defer() — key-wise sum only, growing past capacity; call
+//                   finalize() once after the last merge to apply a single
+//                   reduction. Sum-then-reduce-once IS associative and
+//                   order-independent, which is what the Silo fold
+//                   determinism argument needs (DESIGN.md §12).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace farm::util {
+
+template <typename Key>
+class MisraGriesT {
+ public:
+  explicit MisraGriesT(int capacity) : capacity_(capacity) {
+    FARM_CHECK(capacity > 0);
+  }
+
+  template <typename K>
+  void add(const K& key, std::uint64_t count = 1) {
+    total_ += count;
+    counters_[Key(key)] += count;
+    if (counters_.size() > static_cast<std::size_t>(capacity_)) reduce();
+  }
+
+  // Lower-bound estimate; 0 when the key is not tracked.
+  template <typename K>
+  std::uint64_t estimate(const K& key) const {
+    auto it = counters_.find(Key(key));
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  // Tracked keys with counter >= min_count, sorted by key.
+  std::vector<std::pair<Key, std::uint64_t>> hitters(
+      std::uint64_t min_count) const {
+    std::vector<std::pair<Key, std::uint64_t>> out;
+    for (const auto& [k, c] : counters_)
+      if (c >= min_count) out.emplace_back(k, c);
+    return out;
+  }
+
+  void clear() {
+    counters_.clear();
+    total_ = 0;
+    decremented_ = 0;
+  }
+
+  // Agarwal-style fold (see file comment).
+  void merge(const MisraGriesT& other) {
+    FARM_CHECK(capacity_ == other.capacity_);
+    merge_defer(other);
+    finalize();
+  }
+
+  // Key-wise sum without the capacity reduction; pair with finalize().
+  void merge_defer(const MisraGriesT& other) {
+    FARM_CHECK(capacity_ == other.capacity_);
+    for (const auto& [k, c] : other.counters_) counters_[k] += c;
+    total_ += other.total_;
+    decremented_ += other.decremented_;
+  }
+
+  // Reduces back to capacity in one step: subtract the (capacity+1)-th
+  // largest count from every counter (Agarwal et al., mergeable
+  // summaries). No-op while within capacity.
+  void finalize() {
+    if (counters_.size() <= static_cast<std::size_t>(capacity_)) return;
+    std::vector<std::uint64_t> counts;
+    counts.reserve(counters_.size());
+    for (const auto& [_, c] : counters_) counts.push_back(c);
+    std::nth_element(counts.begin(),
+                     counts.begin() + static_cast<std::ptrdiff_t>(capacity_),
+                     counts.end(), std::greater<>());
+    std::uint64_t d = counts[static_cast<std::size_t>(capacity_)];
+    decremented_ += d;
+    for (auto it = counters_.begin(); it != counters_.end();) {
+      std::uint64_t c = it->second > d ? it->second - d : 0;
+      it->second = c;
+      it = c == 0 ? counters_.erase(it) : std::next(it);
+    }
+  }
+
+  // Rebuilds a summary from serialized state (DiSketch wire format).
+  static MisraGriesT restore(int capacity, std::uint64_t total,
+                             std::uint64_t decremented,
+                             std::map<Key, std::uint64_t> counters) {
+    MisraGriesT mg(capacity);
+    FARM_CHECK(counters.size() <= static_cast<std::size_t>(capacity));
+    mg.total_ = total;
+    mg.decremented_ = decremented;
+    mg.counters_ = std::move(counters);
+    return mg;
+  }
+
+  int capacity() const { return capacity_; }
+  std::uint64_t total_added() const { return total_; }
+  // Total count subtracted from every surviving counter so far — the
+  // summary's worst-case under-estimation.
+  std::uint64_t decremented() const { return decremented_; }
+  std::size_t size() const { return counters_.size(); }
+  const std::map<Key, std::uint64_t>& counters() const { return counters_; }
+
+ private:
+  void reduce() {
+    // Drop every counter by the table minimum; at least one slot zeroes
+    // out, so one reduction restores the capacity invariant after a single
+    // insert.
+    std::uint64_t d = ~0ull;
+    for (const auto& [_, c] : counters_) d = std::min(d, c);
+    decremented_ += d;
+    for (auto it = counters_.begin(); it != counters_.end();) {
+      it->second -= d;
+      it = it->second == 0 ? counters_.erase(it) : std::next(it);
+    }
+  }
+
+  int capacity_;
+  std::uint64_t total_ = 0;
+  std::uint64_t decremented_ = 0;
+  std::map<Key, std::uint64_t> counters_;
+};
+
+}  // namespace farm::util

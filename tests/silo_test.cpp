@@ -1,0 +1,487 @@
+// Silo sharded-store tests: bit-identity of every Query aggregate between
+// the monolithic single-ring store and sharded silos at shard counts
+// {1, 4, 16} (run the suite under FARM_THREADS=1/4/16 to also vary the
+// Combine pool width), eviction-immune total(), absolute percentile
+// goldens, the merge-algebra property suite for every aggstate.h partial
+// state (associativity / fold-order independence), and the silo.shard.*
+// gauge family with its default staleness rule.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "farm/scarecrow.h"
+#include "telemetry/alert.h"
+#include "telemetry/hub.h"
+#include "telemetry/silo.h"
+#include "util/pool.h"
+#include "util/rng.h"
+
+namespace farm::telemetry {
+namespace {
+
+using sim::Duration;
+using util::TimePoint;
+
+TimePoint at_ms(std::int64_t ms) {
+  return TimePoint::origin() + Duration::ms(ms);
+}
+
+// Deterministic pseudo-random scalar in [0, ~10309) with a fractional part.
+double pseudo_value(std::uint64_t stream, std::uint64_t i) {
+  return static_cast<double>(util::derive_seed(stream, i) % 1000003) / 97.0;
+}
+
+// A mixed workload over several metric families, appended identically to
+// every store under test. Values span magnitudes so naive float folding
+// would visibly drift; kinds cycle through all four event types.
+struct Workload {
+  Registry reg;
+  std::vector<MetricId> metrics;
+  struct Row {
+    TimePoint at;
+    MetricId metric;
+    EventKind kind;
+    double value;
+  };
+  std::vector<Row> rows;
+
+  explicit Workload(std::size_t n = 5000) {
+    for (int i = 0; i < 6; ++i)
+      metrics.push_back(
+          reg.counter("soil.leaf" + std::to_string(i) + ".poll_bytes"));
+    for (int i = 0; i < 4; ++i)
+      metrics.push_back(
+          reg.gauge("pcie.leaf" + std::to_string(i) + ".busy_ns"));
+    metrics.push_back(reg.counter("bus.up.bytes"));
+    metrics.push_back(reg.histogram("bus.up.lat", HistogramSpec{{1, 8, 64}}));
+    constexpr EventKind kKinds[] = {EventKind::kAdd, EventKind::kSet,
+                                    EventKind::kObserve, EventKind::kMark};
+    for (std::size_t i = 0; i < n; ++i) {
+      Row r;
+      r.at = at_ms(static_cast<std::int64_t>(i / 4));
+      r.metric = metrics[util::derive_seed(11, i) % metrics.size()];
+      r.kind = kKinds[util::derive_seed(12, i) % 4];
+      double v = pseudo_value(13, i);
+      // Mix in large/small magnitudes: exact folding must still agree.
+      if (i % 7 == 0) v *= 1e12;
+      if (i % 11 == 0) v *= 1e-9;
+      r.value = v;
+      rows.push_back(r);
+    }
+  }
+
+  void feed(SiloStore& store) const {
+    for (const Row& r : rows) store.append(r.at, r.metric, r.kind, r.value);
+  }
+  void feed(EventStore& store) const {
+    for (const Row& r : rows) store.append(r.at, r.metric, r.kind, r.value);
+  }
+};
+
+// Applies the same filter chain to a fresh query against either store.
+template <typename Store>
+Query make_query(const Store& s, const Registry& reg, int variant) {
+  Query q(s, reg);
+  switch (variant) {
+    case 0: break;  // unfiltered
+    case 1: q.label("soil.*.poll_bytes"); break;
+    case 2: q.label("pcie.**").kind(EventKind::kSet); break;
+    case 3: q.window(at_ms(100), at_ms(900)); break;
+    case 4: q.label("bus.up.bytes").since(at_ms(313)); break;
+    case 5: q.kind(EventKind::kObserve); break;
+    default: break;
+  }
+  return q;
+}
+
+constexpr int kVariants = 6;
+
+// Every aggregate, compared with exact (bit-level) equality. EXPECT_EQ on
+// doubles is deliberate: the Silo determinism contract is bit-identity,
+// not tolerance.
+void expect_identical(const Registry& reg, const EventStore& mono,
+                      const SiloStore& silo) {
+  for (int v = 0; v < kVariants; ++v) {
+    SCOPED_TRACE("variant " + std::to_string(v) + ", shards " +
+                 std::to_string(silo.shard_count()));
+    Query qm = make_query(mono, reg, v);
+    Query qs = make_query(silo, reg, v);
+
+    EXPECT_EQ(qm.count(), qs.count());
+    EXPECT_EQ(qm.sum(), qs.sum());
+    EXPECT_EQ(qm.min(), qs.min());
+    EXPECT_EQ(qm.max(), qs.max());
+    EXPECT_EQ(qm.mean(), qs.mean());
+    for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 100.0})
+      EXPECT_EQ(qm.percentile(p), qs.percentile(p));
+    EXPECT_EQ(qm.last_value(-1), qs.last_value(-1));
+
+    auto fm = qm.first();
+    auto fs = qs.first();
+    ASSERT_EQ(fm.has_value(), fs.has_value());
+    if (fm) {
+      EXPECT_EQ(fm->seq, fs->seq);
+      EXPECT_EQ(fm->metric, fs->metric);
+      EXPECT_EQ(fm->value, fs->value);
+      EXPECT_EQ(fm->at, fs->at);
+    }
+    auto lm = qm.last();
+    auto ls = qs.last();
+    ASSERT_EQ(lm.has_value(), ls.has_value());
+    if (lm) {
+      EXPECT_EQ(lm->seq, ls->seq);
+      EXPECT_EQ(lm->value, ls->value);
+    }
+
+    auto rm = qm.rows();
+    auto rs = qs.rows();
+    ASSERT_EQ(rm.size(), rs.size());
+    for (std::size_t i = 0; i < rm.size(); ++i) {
+      EXPECT_EQ(rm[i].seq, rs[i].seq);
+      EXPECT_EQ(rm[i].metric, rs[i].metric);
+      EXPECT_EQ(rm[i].value, rs[i].value);
+    }
+
+    EXPECT_EQ(qm.sum_by_component(1), qs.sum_by_component(1));
+    EXPECT_EQ(qm.count_by_component(1), qs.count_by_component(1));
+    // Within capacity (12 metric families), the bounded summary is exact —
+    // and therefore identical too.
+    EXPECT_EQ(qm.heavy_hitters(1, 64), qs.heavy_hitters(1, 64));
+
+    HistogramSpec spec{{1, 10, 100, 10000}};
+    HistogramState hm = qm.value_histogram(spec);
+    HistogramState hs = qs.value_histogram(spec);
+    EXPECT_EQ(hm.counts(), hs.counts());
+    EXPECT_EQ(hm.total(), hs.total());
+    EXPECT_EQ(hm.sum(), hs.sum());
+    EXPECT_EQ(hm.percentile(90), hs.percentile(90));
+  }
+}
+
+TEST(Silo, BitIdenticalToMonolithAcrossShardCounts) {
+  Workload w;
+  EventStore mono;
+  w.feed(mono);
+  for (std::size_t shards : {1u, 4u, 16u}) {
+    SiloStore silo(SiloConfig{.shards = shards});
+    w.feed(silo);
+    EXPECT_EQ(silo.shard_count(), shards);
+    EXPECT_EQ(silo.total_appended(), mono.total_appended());
+    EXPECT_EQ(silo.size(), mono.size());
+    expect_identical(w.reg, mono, silo);
+  }
+}
+
+TEST(Silo, BitIdenticalUnderScopedThreadCounts) {
+  Workload w(3000);
+  EventStore mono;
+  w.feed(mono);
+  SiloStore silo(SiloConfig{.shards = 8});
+  w.feed(silo);
+  for (int threads : {1, 4, 16}) {
+    util::ScopedThreads scoped(threads);
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    expect_identical(w.reg, mono, silo);
+  }
+}
+
+TEST(Silo, ShardRoutingIsStableAndCoversAllShards) {
+  SiloStore silo(SiloConfig{.shards = 16});
+  std::vector<bool> hit(16, false);
+  for (MetricId m = 0; m < 256; ++m) {
+    std::size_t s = silo.shard_of(m);
+    ASSERT_LT(s, 16u);
+    EXPECT_EQ(s, silo.shard_of(m));  // stable
+    hit[s] = true;
+  }
+  // 256 metrics over 16 shards: every shard should see at least one family.
+  EXPECT_TRUE(std::all_of(hit.begin(), hit.end(), [](bool b) { return b; }));
+}
+
+TEST(Silo, OrderedIterationRecoversAppendOrder) {
+  Workload w(2000);
+  SiloStore silo(SiloConfig{.shards = 4});
+  w.feed(silo);
+  std::uint64_t expect_seq = 0;
+  silo.for_each_ordered([&](const EventRow& r) {
+    EXPECT_EQ(r.seq, expect_seq);
+    EXPECT_EQ(r.value, w.rows[expect_seq].value);
+    ++expect_seq;
+  });
+  EXPECT_EQ(expect_seq, silo.total_appended());
+}
+
+TEST(Silo, TotalIsEvictionImmuneAtAnyShardCount) {
+  // Tiny ring: nearly everything is evicted, yet total() (registry-backed)
+  // stays exact and shard-count independent.
+  for (std::size_t shards : {1u, 4u}) {
+    Hub hub({.store_capacity = 32, .silo_shards = shards});
+    MetricId a = hub.counter("hot.a");
+    MetricId b = hub.counter("hot.b");
+    for (int i = 0; i < 1000; ++i) {
+      hub.add(a, 2);
+      hub.add(b, 3);
+    }
+    EXPECT_GT(hub.events().dropped(), 0u);
+    EXPECT_DOUBLE_EQ(hub.query().label("hot.*").total(), 5000.0);
+    EXPECT_DOUBLE_EQ(hub.query().label("hot.a").total(), 2000.0);
+  }
+}
+
+TEST(Silo, PercentileGoldens) {
+  Registry reg;
+  MetricId a = reg.counter("m.a");
+  MetricId b = reg.counter("m.b");
+  MetricId c = reg.counter("m.c");
+  SiloStore silo(SiloConfig{.shards = 4});
+  const double vals[] = {5, 1, 3, 2, 4};
+  const MetricId ms[] = {a, b, c, a, b};
+  for (int i = 0; i < 5; ++i)
+    silo.append(at_ms(i), ms[i], EventKind::kObserve, vals[i]);
+  Query q(silo, reg);
+  EXPECT_DOUBLE_EQ(q.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(q.percentile(50), 3.0);
+  EXPECT_DOUBLE_EQ(q.percentile(100), 5.0);
+  EXPECT_DOUBLE_EQ(q.percentile(-10), 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(q.mean(), 3.0);
+  EXPECT_EQ(q.count(), 5u);
+}
+
+TEST(Silo, GroupByFoldIsOrderIndependent) {
+  // The same rows in shuffled append orders must yield identical group-by
+  // results (fold order over shards changes with routing, values don't).
+  Workload w(1200);
+  auto grouped = [&](const std::vector<Workload::Row>& rows) {
+    SiloStore silo(SiloConfig{.shards = 8});
+    for (const auto& r : rows) silo.append(r.at, r.metric, r.kind, r.value);
+    return Query(silo, w.reg).sum_by_component(1);
+  };
+  auto base = grouped(w.rows);
+  std::vector<Workload::Row> shuffled = w.rows;
+  std::mt19937 rng(1234);
+  std::shuffle(shuffled.begin(), shuffled.end(), rng);
+  EXPECT_EQ(base, grouped(shuffled));
+}
+
+TEST(Silo, HeavyHittersBoundedAndExactWithinCapacity) {
+  Registry reg;
+  std::vector<MetricId> keys;
+  for (int i = 0; i < 20; ++i)
+    keys.push_back(reg.counter("flow.k" + std::to_string(i) + ".pkts"));
+  SiloStore silo(SiloConfig{.shards = 4});
+  // Key k0 is hot (500 rows); the rest get 5 each.
+  for (int i = 0; i < 500; ++i)
+    silo.append(at_ms(i), keys[0], EventKind::kAdd, 1);
+  for (int k = 1; k < 20; ++k)
+    for (int i = 0; i < 5; ++i)
+      silo.append(at_ms(600 + k), keys[static_cast<std::size_t>(k)],
+                  EventKind::kAdd, 1);
+  // Capacity above the distinct-key count: exact row counts.
+  auto exact = Query(silo, reg).heavy_hitters(1, 64);
+  ASSERT_EQ(exact.size(), 20u);
+  EXPECT_EQ(exact[0].first, "k0");
+  EXPECT_EQ(exact[0].second, 500u);
+  // Tight capacity: the hot key must survive with a count no higher than
+  // the truth and within the Misra-Gries under-estimation bound.
+  auto bounded = Query(silo, reg).heavy_hitters(1, 4, /*min_count=*/100);
+  ASSERT_EQ(bounded.size(), 1u);
+  EXPECT_EQ(bounded[0].first, "k0");
+  EXPECT_LE(bounded[0].second, 500u);
+  EXPECT_GE(bounded[0].second, 500u - 595u / 5u);  // N/(k+1) bound
+}
+
+// --- Merge-algebra property suite -------------------------------------------
+
+// Partitions `vals` into `parts` round-robin chunks, builds one state per
+// chunk, folds in the given permutation order, and returns the final state.
+template <typename State, typename Seal>
+State fold_partition(const std::vector<double>& vals, std::size_t parts,
+                     const std::vector<std::size_t>& order, Seal&& seal) {
+  std::vector<State> states(parts);
+  for (std::size_t i = 0; i < vals.size(); ++i)
+    states[i % parts].add(vals[i]);
+  for (State& s : states) seal(s);
+  State acc = std::move(states[order[0]]);
+  for (std::size_t i = 1; i < order.size(); ++i)
+    acc.merge(std::move(states[order[i]]));
+  return acc;
+}
+
+std::vector<double> property_values() {
+  std::vector<double> vals;
+  for (std::size_t i = 0; i < 2000; ++i) {
+    double v = pseudo_value(77, i) - 5000.0;  // signed
+    if (i % 5 == 0) v *= 1e13;   // magnitude spread: worst case for naive
+    if (i % 9 == 0) v *= 1e-11;  // float folding, routine for ExactSum
+    vals.push_back(v);
+  }
+  return vals;
+}
+
+TEST(SiloMergeAlgebra, ExactSumIsAssociativeAndOrderIndependent) {
+  auto vals = property_values();
+  // Reference: single sequential state.
+  ExactSum ref;
+  for (double v : vals) ref.add(v);
+  const double want = ref.value();
+  auto noseal = [](ExactSum&) {};
+  for (std::size_t parts : {2u, 3u, 7u, 16u}) {
+    std::vector<std::size_t> order(parts);
+    for (std::size_t i = 0; i < parts; ++i) order[i] = i;
+    // Forward, reverse, and a rotated fold order — all bit-identical.
+    EXPECT_EQ(want,
+              fold_partition<ExactSum>(vals, parts, order, noseal).value());
+    std::reverse(order.begin(), order.end());
+    EXPECT_EQ(want,
+              fold_partition<ExactSum>(vals, parts, order, noseal).value());
+    std::rotate(order.begin(), order.begin() + 1, order.end());
+    EXPECT_EQ(want,
+              fold_partition<ExactSum>(vals, parts, order, noseal).value());
+  }
+  // And the value is the correctly rounded exact sum on a case a plain
+  // left-to-right double accumulation gets wrong.
+  ExactSum tricky;
+  for (double v : {1e16, 1.0, 1.0, 1.0, 1.0, -1e16}) tricky.add(v);
+  EXPECT_EQ(tricky.value(), 4.0);
+}
+
+TEST(SiloMergeAlgebra, SortedValuesMergeMatchesFullSort) {
+  auto vals = property_values();
+  std::vector<double> want = vals;
+  std::sort(want.begin(), want.end());
+  auto seal = [](SortedValues& s) { s.seal(); };
+  for (std::size_t parts : {2u, 5u, 13u}) {
+    std::vector<std::size_t> order(parts);
+    for (std::size_t i = 0; i < parts; ++i) order[i] = i;
+    std::reverse(order.begin(), order.end());
+    SortedValues merged =
+        fold_partition<SortedValues>(vals, parts, order, seal);
+    EXPECT_EQ(merged.vals, want);
+  }
+}
+
+TEST(SiloMergeAlgebra, MinMaxMeanFoldOrderIndependent) {
+  auto vals = property_values();
+  MinState min_ref;
+  MaxState max_ref;
+  MeanState mean_ref;
+  for (double v : vals) {
+    min_ref.add(v);
+    max_ref.add(v);
+    mean_ref.add(v);
+  }
+  auto noseal = [](auto&) {};
+  for (std::size_t parts : {2u, 9u}) {
+    std::vector<std::size_t> order(parts);
+    for (std::size_t i = 0; i < parts; ++i) order[i] = i;
+    std::reverse(order.begin(), order.end());
+    EXPECT_EQ(min_ref.value(),
+              fold_partition<MinState>(vals, parts, order, noseal).value());
+    EXPECT_EQ(max_ref.value(),
+              fold_partition<MaxState>(vals, parts, order, noseal).value());
+    EXPECT_EQ(mean_ref.value(),
+              fold_partition<MeanState>(vals, parts, order, noseal).value());
+  }
+}
+
+TEST(SiloMergeAlgebra, HistogramStateMergeIsExact) {
+  auto vals = property_values();
+  HistogramSpec spec{{-1e6, 0, 1e6, 1e12}};
+  HistogramState ref(spec);
+  for (double v : vals) ref.add(v);
+  for (std::size_t parts : {3u, 8u}) {
+    std::vector<HistogramState> states;
+    for (std::size_t i = 0; i < parts; ++i) states.emplace_back(spec);
+    for (std::size_t i = 0; i < vals.size(); ++i)
+      states[i % parts].add(vals[i]);
+    HistogramState acc(spec);
+    for (std::size_t i = parts; i-- > 0;) acc.merge(states[i]);  // reversed
+    EXPECT_EQ(acc.counts(), ref.counts());
+    EXPECT_EQ(acc.total(), ref.total());
+    EXPECT_EQ(acc.sum(), ref.sum());
+  }
+}
+
+TEST(SiloMergeAlgebra, HeavyKeysDeferredMergeIsOrderIndependent) {
+  // Keys partitioned by hash (as Silo routes metrics): merge order must not
+  // change the finalized summary.
+  std::vector<std::string> stream;
+  for (std::size_t i = 0; i < 3000; ++i)
+    stream.push_back("k" + std::to_string(util::derive_seed(5, i) % 40));
+  auto build = [&](std::size_t parts, bool reverse) {
+    std::vector<HeavyKeys> states(parts, HeavyKeys(8));
+    for (const std::string& k : stream)
+      states[util::stable_hash64(k, 99) % parts].add(k);
+    HeavyKeys acc(8);
+    if (reverse) {
+      for (std::size_t i = parts; i-- > 0;) acc.merge(states[i]);
+    } else {
+      for (std::size_t i = 0; i < parts; ++i) acc.merge(states[i]);
+    }
+    acc.finalize();
+    return acc;
+  };
+  for (std::size_t parts : {2u, 6u}) {
+    HeavyKeys fwd = build(parts, false);
+    HeavyKeys rev = build(parts, true);
+    EXPECT_EQ(fwd.hitters(1), rev.hitters(1));
+    EXPECT_EQ(fwd.error_bound(), rev.error_bound());
+    EXPECT_EQ(fwd.total_added(), rev.total_added());
+  }
+}
+
+// --- Shard gauges + staleness rule -------------------------------------------
+
+TEST(SiloGauges, PublishedPerShardAndStalenessRuleFires) {
+  ASSERT_TRUE([] {
+    for (const std::string& r : core::Scarecrow::default_rules())
+      if (r.find("silo-shard-stalled") != std::string::npos) return true;
+    return false;
+  }());
+
+  TimePoint now = TimePoint::origin();
+  Hub hub({.silo_shards = 4});
+  hub.set_clock([&] { return now; });
+  AlertManager alerts(hub);
+  ASSERT_TRUE(
+      alerts.add_rule("silo-shard-stalled: staleness(silo.shard.*.appended) > 30"));
+
+  MetricId m = hub.counter("x.hot");
+  const std::size_t active_shard = hub.events().shard_of(m);
+
+  // Ten seconds of traffic: everything healthy.
+  for (int s = 0; s < 10; ++s) {
+    now = TimePoint::origin() + Duration::sec(s);
+    hub.add(m);
+    hub.publish_silo_gauges();
+    alerts.evaluate(now);
+  }
+  EXPECT_EQ(alerts.firing_count(), 0u);
+  // The gauge family exists, one triple per shard.
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::string base = "silo.shard." + std::to_string(i);
+    EXPECT_NE(hub.registry().find(base + ".appended"), kInvalidMetric);
+  }
+
+  // Traffic stops; 40 s later the active shard's appended gauge is stale.
+  // Idle shards never produced (gauge pinned at 0), so they measure as
+  // nullopt and must not fire.
+  for (int s = 11; s <= 50; ++s) {
+    now = TimePoint::origin() + Duration::sec(s);
+    hub.publish_silo_gauges();
+    alerts.evaluate(now);
+  }
+  EXPECT_EQ(alerts.firing_count(), 1u);
+  // Only the active shard's instance fires (find() needs the metric label:
+  // one rule discovers one alert per matching gauge).
+  const Alert* firing = alerts.find(
+      "silo-shard-stalled",
+      "silo.shard." + std::to_string(active_shard) + ".appended");
+  ASSERT_NE(firing, nullptr);
+  EXPECT_EQ(firing->state, AlertState::kFiring);
+}
+
+}  // namespace
+}  // namespace farm::telemetry

@@ -184,7 +184,9 @@ TEST(Query, GroupByComponentAndPercentile) {
 }
 
 TEST(Query, TotalReadsLiveAggregatesAcrossEviction) {
-  Hub hub({.store_capacity = 8});
+  // One shard: the whole 8-row budget is a single ring, so retention is
+  // exact regardless of the host's thread count.
+  Hub hub({.store_capacity = 8, .silo_shards = 1});
   MetricId m = hub.counter("hot.counter");
   for (int i = 0; i < 100; ++i) hub.add(m, 2);
   // The ring only retains 8 rows, but the registry total is exact.
