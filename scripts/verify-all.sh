@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
-# verify-all: configure + build + test the seven supported configurations
+# verify-all: configure + build + test the eight supported configurations
 # in sequence — default (RelWithDebInfo), Sickle lint over the corpus and
 # example seeds, the DiSketch accuracy goldens (`accuracy` label), the
 # Silo sharded-store suite at FARM_THREADS=16 (`silo` label — exercises
 # the multi-shard defaults and parallel query folds this host's core count
-# may not), ASan+UBSan, telemetry compiled out, and TSan over the
-# Combine-labelled concurrency tests (the worker pool and the parallel
-# placement/sweep paths, run at FARM_THREADS=8). A final non-fatal
-# clang-tidy stage (scripts/lint.sh) reports a finding count without
-# breaking the chain. Workflow presets cannot mix configure presets, so
-# each configuration is its own workflow and this script is the chain.
+# may not), the Furrow profiler suite (`profile` label), ASan+UBSan,
+# telemetry compiled out, and TSan over the Combine-labelled concurrency
+# tests (the worker pool and the parallel placement/sweep paths, run at
+# FARM_THREADS=8). Then the Furrow overhead gate: bench_profiler must show
+# ≤2% end-to-end cost on the instrumented 10k-seed solve — fatal. A final
+# non-fatal clang-tidy stage (scripts/lint.sh) reports a finding count
+# without breaking the chain. Workflow presets cannot mix configure
+# presets, so each configuration is its own workflow and this script is
+# the chain.
 #
 # Usage: scripts/verify-all.sh [-jN]
 # Any extra arguments are forwarded to every `cmake --workflow` call.
@@ -17,7 +20,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-workflows=(verify-default verify-lint verify-accuracy verify-silo verify-asan verify-telemetry-off verify-tsan)
+workflows=(verify-default verify-lint verify-accuracy verify-silo verify-profile verify-asan verify-telemetry-off verify-tsan)
 failed=()
 
 for wf in "${workflows[@]}"; do
@@ -26,6 +29,14 @@ for wf in "${workflows[@]}"; do
     failed+=("${wf}")
   fi
 done
+
+# Furrow overhead gate: the instrumented 10k-seed solve must stay within
+# 2% of the profiler-off run (bench_profiler exits non-zero otherwise) —
+# fatal, it guards the "always-available" claim.
+echo "==== stage: furrow overhead gate (bench_profiler) ===="
+if ! build/bench/bench_profiler; then
+  failed+=(bench_profiler)
+fi
 
 # clang-tidy static analysis: non-fatal — prints its finding count (or a
 # skip notice when clang-tidy is absent) without failing the chain.

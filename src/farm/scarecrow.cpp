@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "farm/system.h"
+#include "telemetry/prof.h"
 #include "telemetry/report.h"
 #include "util/log.h"
 
@@ -73,6 +74,7 @@ Scarecrow::Scarecrow(FarmSystem& system, ScarecrowConfig config)
 }
 
 void Scarecrow::evaluate_now() {
+  FARM_PROF_SCOPE("scarecrow/evaluate");
   // Refresh the silo.shard.* gauge family first so this tick's rules (the
   // silo-shard-stalled staleness watch) see current shard occupancy.
   system_.telemetry().publish_silo_gauges();
@@ -103,19 +105,27 @@ void Scarecrow::refresh_health() {
 }
 
 void Scarecrow::write_report(std::ostream& os) const {
+  // The farm report carries the Furrow control-plane profile alongside the
+  // virtual-time telemetry: same run, wall-clock view of the solver.
+  telemetry::prof::Snapshot profile =
+      telemetry::prof::Profiler::instance().snapshot();
   telemetry::ReportInputs in;
   in.hub = &system_.telemetry();
   in.alerts = &alerts_;
   in.health = &health_;
+  in.profile = &profile;
   in.now = system_.engine().now();
   telemetry::write_farm_report(os, in);
 }
 
 void Scarecrow::write_report_json(std::ostream& os) const {
+  telemetry::prof::Snapshot profile =
+      telemetry::prof::Profiler::instance().snapshot();
   telemetry::ReportInputs in;
   in.hub = &system_.telemetry();
   in.alerts = &alerts_;
   in.health = &health_;
+  in.profile = &profile;
   in.now = system_.engine().now();
   telemetry::write_farm_report_json(os, in);
 }

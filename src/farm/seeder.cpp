@@ -5,6 +5,7 @@
 #include "almanac/analysis.h"
 #include "runtime/wire.h"
 #include "sim/cost_model.h"
+#include "telemetry/prof.h"
 #include "util/log.h"
 
 namespace farm::core {
@@ -375,6 +376,7 @@ void Seeder::reoptimize() {
   // The solve itself is host computation (zero virtual time); the span marks
   // *when* placement ran so traces correlate it with the triggering fault.
   telemetry::ScopedSpan span(*tel_, track_, "reoptimize");
+  FARM_PROF_SCOPE("reoptimize");
   auto problem = build_problem();
   if (options_.use_milp) {
     placement::MilpPlacementOptions mo;
@@ -387,6 +389,7 @@ void Seeder::reoptimize() {
 }
 
 bool Seeder::lint_intake(const TaskSpec& spec) {
+  FARM_PROF_SCOPE("lint");
   last_lint_.clear();
   if (!options_.lint_gate) return true;
 
@@ -434,6 +437,8 @@ bool Seeder::lint_intake(const TaskSpec& spec) {
 }
 
 std::vector<SeedId> Seeder::install_task(const TaskSpec& spec) {
+  FARM_PROF_SCOPE("seeder/intake");
+  FARM_PROF_COUNT("seeder.intake.tasks", 1);
   FARM_CHECK_MSG(!tasks_.count(spec.name), "task already installed");
   // Step 0 (Sickle): reject ill-formed seeds before any elaboration or
   // placement work happens — a rejected task installs nothing.
@@ -447,6 +452,7 @@ std::vector<SeedId> Seeder::install_task(const TaskSpec& spec) {
 }
 
 void Seeder::remove_task(const std::string& name) {
+  FARM_PROF_SCOPE("seeder/remove");
   auto it = tasks_.find(name);
   if (it == tasks_.end()) return;
   for (const auto& ps : it->second.seeds)

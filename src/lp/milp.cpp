@@ -5,6 +5,8 @@
 #include <optional>
 #include <vector>
 
+#include "telemetry/prof.h"
+
 namespace farm::lp {
 
 namespace {
@@ -138,6 +140,7 @@ void BranchAndBound::dive(int depth) {
     return;
   }
   ++nodes_;
+  FARM_PROF_COUNT("lp.milp.nodes", 1);
 
   Solution relax = solve_node();
   if (relax.status == SolveStatus::kInfeasible) return;
@@ -153,8 +156,13 @@ void BranchAndBound::dive(int depth) {
   if (auto cut = cutoff()) {
     double tol = opt_.mip_gap * std::max(1.0, std::abs(*cut));
     if (work_.base.maximize() ? relax.objective <= *cut + tol
-                              : relax.objective >= *cut - tol)
+                              : relax.objective >= *cut - tol) {
+      FARM_PROF_COUNT("lp.milp.pruned", 1);
+      // No incumbent yet means the bound came from the caller's warm
+      // start — the pruning the warm-start machinery exists to buy.
+      if (!incumbent_) FARM_PROF_COUNT("lp.milp.pruned_warm", 1);
       return;
+    }
   }
 
   auto branch_var = most_fractional(relax);
@@ -210,6 +218,7 @@ Solution BranchAndBound::run() {
 
 Solution solve_milp(const Model& model, const MilpOptions& options) {
   if (!model.has_integrality()) return solve_lp(model, options.lp);
+  FARM_PROF_SCOPE("milp");
   BranchAndBound bb(model, options);
   return bb.run();
 }

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <vector>
 
+#include "telemetry/prof.h"
+
 namespace farm::lp {
 
 namespace {
@@ -62,6 +64,7 @@ SolveStatus SimplexSolver::iterate(Tableau& t, std::vector<double>& red,
                                    const std::vector<bool>& allow) {
   const std::size_t m = t.rows.size();
   std::uint64_t stall = 0;
+  bool was_bland = false;
   while (true) {
     if (iterations_ >= opt_.max_iterations) return SolveStatus::kIterationLimit;
     if (deadline_hit()) return SolveStatus::kTimeLimit;
@@ -70,6 +73,8 @@ SolveStatus SimplexSolver::iterate(Tableau& t, std::vector<double>& red,
     // Entering column: Dantzig rule normally; Bland (first eligible) after
     // a long degenerate stall to guarantee termination.
     bool bland = stall > 2 * (m + t.n_total);
+    if (bland && !was_bland) FARM_PROF_COUNT("lp.simplex.bland", 1);
+    was_bland = bland;
     int enter = -1;
     double best = -kEps;
     for (std::size_t j = 0; j < t.n_total; ++j) {
@@ -115,6 +120,7 @@ SolveStatus SimplexSolver::iterate(Tableau& t, std::vector<double>& red,
     stall = best_ratio < kEps ? stall + 1 : 0;
 
     // Pivot.
+    FARM_PROF_COUNT("lp.simplex.pivots", 1);
     auto li = static_cast<std::size_t>(leave);
     auto ej = static_cast<std::size_t>(enter);
     auto& prow = t.rows[li];
@@ -330,6 +336,7 @@ Solution SimplexSolver::run() {
 }  // namespace
 
 Solution solve_lp(const Model& model, const LpOptions& options) {
+  FARM_PROF_SCOPE("simplex");
   SimplexSolver solver(model, options);
   return solver.run();
 }

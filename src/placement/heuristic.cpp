@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "placement/switch_lp.h"
+#include "telemetry/prof.h"
 #include "util/check.h"
 #include "util/pool.h"
 #include "util/rng.h"
@@ -148,6 +149,9 @@ PlacementResult solve_single_start(const PlacementProblem& problem,
                                    const HeuristicOptions& options,
                                    util::ThreadPool& pool,
                                    std::uint64_t tie_break) {
+  // Root-anchored task scope: a start records the same profile path whether
+  // it runs on a Combine worker (multi_start > 1) or inline on the caller.
+  FARM_PROF_TASK("placement/start");
   PlacementResult result;
 
   std::unordered_map<net::NodeId, SwitchState> switches;
@@ -167,6 +171,7 @@ PlacementResult solve_single_start(const PlacementProblem& problem,
   ResourcesValue unbounded{1e9, 1e9, 1e9, 1e9};
   auto per_seed_infos = pool.parallel_map<std::vector<VariantInfo>>(
       problem.seeds.size(), [&](std::size_t i) {
+        FARM_PROF_TASK("placement/precompute");
         std::vector<VariantInfo> infos;
         infos.reserve(problem.seeds[i].variants.size());
         for (const auto& v : problem.seeds[i].variants) {
@@ -183,6 +188,15 @@ PlacementResult solve_single_start(const PlacementProblem& problem,
     variant_info[&problem.seeds[i]] = std::move(per_seed_infos[i]);
   }
 
+  // Greedy decisions survive the scope block below into step 3.
+  struct Decision {
+    net::NodeId node;
+    int variant;
+    ResourcesValue min_alloc;
+  };
+  std::unordered_map<std::string, Decision> decisions;
+  {
+  FARM_PROF_SCOPE("greedy");
   // --- Step 1: order tasks by decreasing minimum utility -------------------
   std::map<std::string, std::vector<const SeedModel*>> tasks;
   for (const auto& s : problem.seeds) tasks[s.task].push_back(&s);
@@ -215,13 +229,6 @@ PlacementResult solve_single_start(const PlacementProblem& problem,
   }
 
   // --- Step 2: greedy placement --------------------------------------------
-  struct Decision {
-    net::NodeId node;
-    int variant;
-    ResourcesValue min_alloc;
-  };
-  std::unordered_map<std::string, Decision> decisions;
-
   for (const auto& [task_util, task] : task_order) {
     (void)task_util;
     std::vector<std::pair<const SeedModel*, Decision>> staged;
@@ -315,6 +322,7 @@ PlacementResult solve_single_start(const PlacementProblem& problem,
     }
     for (auto& [s, d] : staged) decisions[s->id] = d;
   }
+  }  // greedy scope
 
   // --- Step 3: per-switch LP redistribution --------------------------------
   // Migration residue per switch (seeds that moved away keep their old
@@ -343,6 +351,7 @@ PlacementResult solve_single_start(const PlacementProblem& problem,
   };
   auto step3 = pool.parallel_map<Step3Out>(
       step3_nodes.size(), [&](std::size_t i) {
+        FARM_PROF_TASK("placement/step3");
         const SwitchState& st = switches.find(step3_nodes[i])->second;
         Step3Out out;
         out.lp = redistribute_on_switch(*st.model, st.pinned,
@@ -393,6 +402,8 @@ PlacementResult solve_single_start(const PlacementProblem& problem,
   // changes the marginal value of others, so benefits are recomputed.
   std::size_t evals = 0;
   bool improved = options.enable_migration_pass;
+  {
+  FARM_PROF_SCOPE("migrate");
   for (int sweep = 0; sweep < 4 && improved; ++sweep) {
     improved = false;
     struct Move {
@@ -432,6 +443,7 @@ PlacementResult solve_single_start(const PlacementProblem& problem,
     };
     auto priced = pool.parallel_map<EvalOut>(
         eval_jobs.size(), [&](std::size_t i) {
+          FARM_PROF_TASK("placement/step4_price");
           const EvalJob& job = eval_jobs[i];
           EvalOut out;
           // Benefit = ΔU(target with s) + ΔU(source without s).
@@ -484,6 +496,7 @@ PlacementResult solve_single_start(const PlacementProblem& problem,
                 if (a.seed->id != b.seed->id) return a.seed->id < b.seed->id;
                 return a.to < b.to;
               });
+    FARM_PROF_SCOPE("apply");
     for (const auto& mv : moves) {
       // Earlier applied moves shifted switch utilities (and pinned sets),
       // so the scored benefit is stale: re-price against the evolving
@@ -493,13 +506,19 @@ PlacementResult solve_single_start(const PlacementProblem& problem,
       auto& src = switches[mv.from];
       auto& dst = switches[mv.to];
       auto eit = entries.find(mv.seed->id);
-      if (eit == entries.end() || eit->second.node != mv.from) continue;
+      if (eit == entries.end() || eit->second.node != mv.from) {
+        FARM_PROF_COUNT("placement.migration.rejected", 1);
+        continue;
+      }
       auto dst_pinned = dst.pinned;
       dst_pinned.push_back({mv.seed, mv.variant});
       auto dst_lp = redistribute_on_switch(*dst.model, dst_pinned,
                                            reserved_of(reserved, mv.to),
                                            &result.lp_solves);
-      if (!dst_lp) continue;
+      if (!dst_lp) {
+        FARM_PROF_COUNT("placement.migration.rejected", 1);
+        continue;
+      }
       std::vector<PinnedSeed> src_pinned;
       for (const auto& p : src.pinned)
         if (p.seed->id != mv.seed->id) src_pinned.push_back(p);
@@ -514,11 +533,18 @@ PlacementResult solve_single_start(const PlacementProblem& problem,
       }
       auto src_lp = redistribute_on_switch(*src.model, src_pinned, src_res,
                                            &result.lp_solves);
-      if (!src_lp) continue;
+      if (!src_lp) {
+        FARM_PROF_COUNT("placement.migration.rejected", 1);
+        continue;
+      }
       double benefit = (dst_lp->utility - utility_of(switch_utility, mv.to)) +
                        (src_lp->utility - utility_of(switch_utility, mv.from));
-      if (benefit <= kBenefitEps) continue;
+      if (benefit <= kBenefitEps) {
+        FARM_PROF_COUNT("placement.migration.rejected", 1);
+        continue;
+      }
       improved = true;
+      FARM_PROF_COUNT("placement.migration.applied", 1);
       // Apply the move.
       src.remove(mv.seed->id);
       dst.pinned = dst_pinned;
@@ -541,6 +567,7 @@ PlacementResult solve_single_start(const PlacementProblem& problem,
       }
     }
   }
+  }  // migrate scope
 
   for (auto& [_, e] : entries) result.placements.push_back(e);
   std::sort(result.placements.begin(), result.placements.end(),
@@ -556,11 +583,13 @@ PlacementResult solve_single_start(const PlacementProblem& problem,
 
 PlacementResult solve_heuristic(const PlacementProblem& problem,
                                 const HeuristicOptions& options) {
+  FARM_PROF_SCOPE("placement/solve");
   auto t0 = std::chrono::steady_clock::now();
   util::ThreadPool pool(options.threads);
 
   PlacementResult result;
   int starts = std::max(1, options.multi_start);
+  FARM_PROF_COUNT("placement.starts", starts);
   if (starts == 1) {
     result = solve_single_start(problem, options, pool, 0);
   } else {

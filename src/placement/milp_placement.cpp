@@ -7,6 +7,7 @@
 
 #include "placement/heuristic.h"
 #include "placement/switch_lp.h"
+#include "telemetry/prof.h"
 #include "util/check.h"
 
 namespace farm::placement {
@@ -101,6 +102,7 @@ PlacementResult first_fit_placement(const PlacementProblem& problem) {
 
 PlacementResult solve_milp_placement(const PlacementProblem& problem,
                                      const MilpPlacementOptions& options) {
+  FARM_PROF_SCOPE("placement/milp_solve");
   auto t0 = std::chrono::steady_clock::now();
 
   // Capacity upper bounds across switches (for big-M and utility bounds).

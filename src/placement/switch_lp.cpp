@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "telemetry/prof.h"
+
 namespace farm::placement {
 
 namespace {
@@ -26,6 +28,10 @@ ResourcesValue from_values(const std::vector<double>& v, std::size_t base) {
 
 }  // namespace
 
+// Deliberately not given its own profiler scope: this 4-variable LP runs
+// once per (seed, variant) — tens of thousands of times per solve — and
+// the "simplex" scope inside solve_lp already owns the frame; a wrapper
+// here doubles the hot-path scope cost for no extra flamegraph depth.
 std::optional<ResourcesValue> minimal_allocation(const UtilityVariant& variant,
                                                  const ResourcesValue& cap) {
   lp::Model m;
@@ -55,6 +61,7 @@ std::optional<SwitchLpResult> redistribute_on_switch(
     const SwitchModel& sw, const std::vector<PinnedSeed>& seeds,
     const ResourcesValue& reserved, std::uint64_t* lp_solves) {
   if (seeds.empty()) return SwitchLpResult{};
+  FARM_PROF_SCOPE("switch_lp");
 
   lp::Model m;
   m.set_maximize(true);

@@ -1,5 +1,6 @@
 #include "sim/sweep.h"
 
+#include "telemetry/prof.h"
 #include "util/pool.h"
 
 namespace farm::sim {
@@ -26,8 +27,10 @@ std::map<std::string, SweepResult::Aggregate> SweepResult::aggregate() const {
 SweepResult run_scenarios(std::size_t count, const ScenarioFn& fn,
                           const SweepOptions& options) {
   SweepResult result;
+  FARM_PROF_SCOPE("sweep/run");
   util::ThreadPool pool(options.threads);
   result.runs = pool.parallel_map<ScenarioMetrics>(count, [&](std::size_t i) {
+    FARM_PROF_TASK("sweep/scenario");
     Engine engine;
     return fn(i, engine);
   });

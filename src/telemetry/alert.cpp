@@ -4,6 +4,7 @@
 #include <cctype>
 #include <charconv>
 
+#include "telemetry/prof.h"
 #include "util/pool.h"
 
 namespace farm::telemetry {
@@ -270,13 +271,19 @@ void AlertManager::evaluate(TimePoint now) {
   // caller's thread where the fan-out would cost more than the work.
   std::vector<Step> steps(alerts_.size());
   util::ThreadPool& pool = util::ThreadPool::shared();
+  // Both branches anchor each step at the profiler root so an alert's
+  // profile path (and any Silo query scopes under it) is identical whether
+  // the fleet fanned out or stayed sequential.
   if (alerts_.size() >= kParallelAlerts && pool.size() > 1) {
     pool.parallel_for(alerts_.size(), [&](std::size_t i) {
+      FARM_PROF_TASK("scarecrow/alert_step");
       steps[i] = step_alert(alerts_[i], now);
     });
   } else {
-    for (std::size_t i = 0; i < alerts_.size(); ++i)
+    for (std::size_t i = 0; i < alerts_.size(); ++i) {
+      FARM_PROF_TASK("scarecrow/alert_step");
       steps[i] = step_alert(alerts_[i], now);
+    }
   }
   // Phase 2 — fold: emit the planned transition marks in alert index
   // order, the exact append sequence a sequential evaluation produces.

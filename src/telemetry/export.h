@@ -13,6 +13,7 @@
 #include <string>
 #include <string_view>
 
+#include "telemetry/prof.h"
 #include "telemetry/store.h"
 
 namespace farm::telemetry {
@@ -24,10 +25,38 @@ struct ChromeTraceOptions {
   std::size_t last_events = 0;
   // Free-form note stored under otherData.reason (flight-record cause).
   std::string reason;
+  // When set, a Furrow control-plane profile rides along as a second
+  // process row (pid 2, wall-clock) next to the virtual-time sim (pid 1).
+  const prof::Snapshot* profile = nullptr;
 };
 
 void write_chrome_trace(std::ostream& os, const Hub& hub,
                         const ChromeTraceOptions& options = {});
+
+// --- Furrow (wall-clock control-plane profile) exporters -------------------
+
+// Collapsed-stack text, one "seg;seg;seg weight" line per call-tree path,
+// ready for flamegraph.pl / speedscope. Zero-weight paths are kept so the
+// file always mirrors the full tree shape.
+enum class CollapsedWeight {
+  kSelfNs,  // flamegraph convention: each stack weighted by its self time
+  kCount,   // scope closure counts (thread-count invariant)
+};
+void write_prof_collapsed(std::ostream& os, const prof::Snapshot& snap,
+                          CollapsedWeight weight = CollapsedWeight::kSelfNs);
+
+// Standalone chrome-trace JSON for a profile snapshot. The call tree has no
+// per-invocation timestamps (it is an aggregate), so spans are laid out
+// synthetically: each node starts where its previous sibling ended, inside
+// its parent; self time is the unfilled tail of the parent span. Counters
+// export as "C" samples at t=0.
+void write_prof_chrome_trace(std::ostream& os, const prof::Snapshot& snap,
+                             const ChromeTraceOptions& options = {});
+
+// Ranked text table (top `top_n` paths by self time, then counters) — the
+// profile section of `farm report`.
+void write_prof_report(std::ostream& os, const prof::Snapshot& snap,
+                       std::size_t top_n = 24);
 
 // One row per matching event: time_s,metric,kind,value
 void write_csv(std::ostream& os, const Query& query, const Registry& registry);

@@ -1,6 +1,7 @@
 #include "telemetry/report.h"
 
 #include <cstdio>
+#include <functional>
 #include <map>
 
 #include "telemetry/export.h"
@@ -89,6 +90,11 @@ void write_farm_report(std::ostream& os, const ReportInputs& in) {
   for (const auto& [component, slot] : component_totals(hub.registry()))
     os << "  " << component << ": " << slot.first
        << " metrics, total " << num(slot.second) << "\n";
+
+  if (in.profile) {
+    os << "\n--- control-plane profile (furrow, wall-clock) ---\n";
+    write_prof_report(os, *in.profile);
+  }
 }
 
 void write_farm_report_json(std::ostream& os, const ReportInputs& in) {
@@ -144,7 +150,41 @@ void write_farm_report_json(std::ostream& os, const ReportInputs& in) {
        << to_string(reg.kind(id)) << "\",\"value\":" << num(reg.value(id))
        << "}";
   }
-  os << "]}\n";
+  os << "]";
+
+  if (in.profile) {
+    const prof::Snapshot& snap = *in.profile;
+    os << ",\"profile\":{\"total_ns\":" << snap.root.total_ns
+       << ",\"stacks\":[";
+    bool first = true;
+    std::string path;
+    std::function<void(const prof::ProfNode&)> walk =
+        [&](const prof::ProfNode& node) {
+          std::size_t saved = path.size();
+          if (!path.empty()) path += ';';
+          path += node.name;
+          if (!first) os << ",";
+          first = false;
+          os << "\n{\"path\":\"" << json_escape(path)
+             << "\",\"count\":" << node.count
+             << ",\"total_ns\":" << node.total_ns
+             << ",\"self_ns\":" << node.self_ns
+             << ",\"max_ns\":" << node.max_ns << "}";
+          for (const prof::ProfNode& c : node.children) walk(c);
+          path.resize(saved);
+        };
+    for (const prof::ProfNode& c : snap.root.children) walk(c);
+    os << "],\"counters\":[";
+    first = true;
+    for (const prof::ProfCounter& c : snap.counters) {
+      if (!first) os << ",";
+      first = false;
+      os << "\n{\"name\":\"" << json_escape(c.name)
+         << "\",\"value\":" << c.value << "}";
+    }
+    os << "]}";
+  }
+  os << "}\n";
 }
 
 }  // namespace farm::telemetry

@@ -16,6 +16,7 @@
 
 #include "telemetry/alert.h"
 #include "telemetry/health.h"
+#include "telemetry/prof.h"
 
 namespace farm::telemetry {
 
@@ -23,6 +24,9 @@ struct ReportInputs {
   const Hub* hub = nullptr;              // required
   const AlertManager* alerts = nullptr;  // optional
   const HealthTree* health = nullptr;    // optional
+  // Optional Furrow control-plane profile (wall-clock): adds a ranked
+  // self-time table + counters section, and a "profile" object to the JSON.
+  const prof::Snapshot* profile = nullptr;
   TimePoint now;                         // report timestamp (virtual)
   std::string title = "farm report";
 };

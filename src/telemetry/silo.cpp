@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "telemetry/prof.h"
 #include "util/pool.h"
 #include "util/rng.h"
 
@@ -153,9 +154,15 @@ constexpr std::size_t kParallelRowThreshold = 4096;
 template <typename State, typename PerShard>
 State fold_shards(const std::vector<const EventStore*>& shards,
                   PerShard&& per_shard) {
-  if (shards.size() == 1) return per_shard(*shards[0]);
+  FARM_PROF_COUNT("silo.shards_folded", shards.size());
+  if (shards.size() == 1) {
+    FARM_PROF_COUNT("silo.rows_scanned", shards[0]->size());
+    return per_shard(*shards[0]);
+  }
+  FARM_PROF_SCOPE("silo/query_fold");
   std::size_t rows = 0;
   for (const EventStore* s : shards) rows += s->size();
+  FARM_PROF_COUNT("silo.rows_scanned", rows);
   std::vector<State> parts;
   util::ThreadPool& pool = util::ThreadPool::shared();
   if (pool.size() > 1 && rows >= kParallelRowThreshold) {

@@ -47,12 +47,19 @@ void Tracer::end(TrackId t, SpanId id, TimePoint at) {
 }
 
 std::vector<Span> Tracer::spans(TrackId t) const {
-  const Track& tr = at(t);
   std::vector<Span> out;
-  out.reserve(tr.done.size());
-  for (std::size_t i = 0; i < tr.done.size(); ++i)
-    out.push_back(tr.done[(tr.head + i) % tr.done.size()]);
+  out.reserve(at(t).done.size());
+  for_each_span(t, [&out](const Span& s) { out.push_back(s); });
   return out;
+}
+
+void Tracer::for_each_span(
+    TrackId t, const std::function<void(const Span&)>& fn) const {
+  const Track& tr = at(t);
+  // Two-segment walk of the ring, oldest retained → newest; `head` is 0
+  // until the ring wraps, so the first loop covers the unwrapped case.
+  for (std::size_t i = tr.head; i < tr.done.size(); ++i) fn(tr.done[i]);
+  for (std::size_t i = 0; i < tr.head; ++i) fn(tr.done[i]);
 }
 
 }  // namespace farm::telemetry

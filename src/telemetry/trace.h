@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -55,6 +56,11 @@ class Tracer {
 
   // Completed spans, oldest retained → newest.
   std::vector<Span> spans(TrackId t) const;
+  // Visitor over the same spans without materializing a copy of the ring —
+  // what exporters use (a full chrome-trace export would otherwise copy
+  // every track's ring wholesale).
+  void for_each_span(TrackId t,
+                     const std::function<void(const Span&)>& fn) const;
   std::size_t open_count(TrackId t) const { return at(t).open.size(); }
   std::uint64_t completed_total(TrackId t) const { return at(t).completed; }
 

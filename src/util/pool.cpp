@@ -16,6 +16,10 @@ std::atomic<int> g_override{0};
 // participating submitter); nested parallel_for then runs inline.
 thread_local bool tl_in_pool = false;
 
+// Dispatch statistics (see ThreadPool::Stats).
+std::atomic<std::uint64_t> g_tasks{0};
+std::atomic<std::uint64_t> g_inline_tasks{0};
+
 int env_threads() {
   static const int cached = [] {
     if (const char* env = std::getenv("FARM_THREADS")) {
@@ -29,6 +33,16 @@ int env_threads() {
 }
 
 }  // namespace
+
+ThreadPool::Stats ThreadPool::stats() {
+  return {g_tasks.load(std::memory_order_relaxed),
+          g_inline_tasks.load(std::memory_order_relaxed)};
+}
+
+void ThreadPool::reset_stats() {
+  g_tasks.store(0, std::memory_order_relaxed);
+  g_inline_tasks.store(0, std::memory_order_relaxed);
+}
 
 int ThreadPool::default_threads() {
   int ov = g_override.load(std::memory_order_relaxed);
@@ -89,9 +103,12 @@ void ThreadPool::parallel_for(std::size_t n,
   // call from inside pool work. Bit-identical by construction: the same fn
   // runs over the same indices, only on one thread.
   if (size_ <= 1 || n == 1 || tl_in_pool) {
+    g_tasks.fetch_add(n, std::memory_order_relaxed);
+    g_inline_tasks.fetch_add(n, std::memory_order_relaxed);
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  g_tasks.fetch_add(n, std::memory_order_relaxed);
   std::lock_guard<std::mutex> submit(submit_mutex_);
   {
     std::lock_guard<std::mutex> lock(mutex_);

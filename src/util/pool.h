@@ -16,6 +16,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -53,6 +54,18 @@ class ThreadPool {
   // FARM_THREADS env var (clamped to >= 1), else hardware concurrency;
   // a scoped override (below) wins over both.
   static int default_threads();
+
+  // Process-lifetime dispatch statistics across every pool, surfaced by the
+  // Furrow profiler as pool.tasks / pool.tasks_inline: `tasks` counts items
+  // offered to parallel_for, `inline_tasks` the subset executed on the
+  // submitting thread with no worker handoff (1-thread pools, single-item
+  // batches, nested calls). Two relaxed atomics bumped once per batch.
+  struct Stats {
+    std::uint64_t tasks = 0;
+    std::uint64_t inline_tasks = 0;
+  };
+  static Stats stats();
+  static void reset_stats();
 
   // Process-wide pool sized default_threads() at first use. Call sites that
   // honour a per-call thread override construct their own pool instead.

@@ -460,10 +460,14 @@ TEST(Scarecrow, SystemReportsRenderAfterARun) {
   farm.write_farm_report(text);
   EXPECT_NE(text.str().find("farm report"), std::string::npos);
   EXPECT_NE(text.str().find("fabric"), std::string::npos);
+  // The Furrow section rides along: system construction ran the placement
+  // solver under the (default-enabled) profiler.
+  EXPECT_NE(text.str().find("control-plane profile"), std::string::npos);
   std::ostringstream json;
   farm.write_farm_report_json(json);
   expect_balanced_json(json.str());
   EXPECT_NE(json.str().find("\"health\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"profile\""), std::string::npos);
 }
 
 }  // namespace
