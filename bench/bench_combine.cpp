@@ -14,6 +14,7 @@
 // A second section measures the Combine scenario runner (sim/sweep.h) on a
 // batch of independent chaos-style engine runs, with the same
 // equality-then-speedup structure.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -133,12 +134,45 @@ int main() {
   json.record("sweep_speedup", sweep_speedup, "x",
               {bench::param("hw_threads", static_cast<int>(hw))});
 
+  // --- Engine reuse --------------------------------------------------------
+  // chunks=1 runs every scenario on one engine (reset between scenarios);
+  // chunks=kScenarios constructs a fresh engine per scenario — the old
+  // runner's behavior. Reuse must be free: bit-identical results and at
+  // most 5% single-thread overhead (best of 3 to shed scheduler noise).
+  auto time_chunked = [&](std::size_t chunks) {
+    sim::SweepResult r;
+    double best = 1e30;
+    for (int rep = 0; rep < 3; ++rep) {
+      auto t0 = std::chrono::steady_clock::now();
+      r = sim::run_scenarios(kScenarios, scenario,
+                             {.threads = 1, .chunks = chunks});
+      best = std::min(best, std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count());
+    }
+    return std::pair{r, best};
+  };
+  auto [reuse_r, reuse_t] = time_chunked(1);
+  auto [fresh_r, fresh_t] = time_chunked(kScenarios);
+  bool reuse_same = reuse_r == fresh_r && reuse_r == sweep1;
+  double reuse_overhead = fresh_t > 0 ? reuse_t / fresh_t - 1.0 : 0;
+  std::printf("engine reuse — 1 thread: reused %.3fs, fresh %.3fs "
+              "(%+.1f%%), identical: %s\n", reuse_t, fresh_t,
+              reuse_overhead * 100, reuse_same ? "yes" : "NO");
+  json.record("sweep_reuse_seconds", reuse_t, "s", {bench::param("chunks", 1)});
+  json.record("sweep_fresh_seconds", fresh_t, "s",
+              {bench::param("chunks", static_cast<int>(kScenarios))});
+  json.record("sweep_reuse_overhead", reuse_overhead, "ratio", {});
+  bool reuse_ok = reuse_same && reuse_overhead <= 0.05;
+
   // Determinism is unconditional; the 2x bar needs the cores to exist.
-  bool ok = identical && sweep_same;
+  bool ok = identical && sweep_same && reuse_ok;
   if (hw >= 8) ok &= speedup8 >= 2.0;
-  std::printf("\nparallel == sequential: %s; 8-thread speedup %.2fx%s\n",
+  std::printf("\nparallel == sequential: %s; 8-thread speedup %.2fx%s; "
+              "engine-reuse overhead %s\n",
               identical && sweep_same ? "HOLDS" : "VIOLATED", speedup8,
               hw >= 8 ? (speedup8 >= 2.0 ? " (>=2x HOLDS)" : " (<2x VIOLATED)")
-                      : " (host has <8 hardware threads; bar not applied)");
+                      : " (host has <8 hardware threads; bar not applied)",
+              reuse_ok ? "<=5% HOLDS" : "VIOLATED");
   return ok ? 0 : 1;
 }

@@ -1,0 +1,139 @@
+// Incremental placement at mega-fabric scale: 100k seeds across 1040
+// switches (the paper's top-end fabric, §VI-D). A cold resolve pays the
+// full Algorithm-1 cost once; after that, a single seed arrival or
+// departure must re-optimize in under a second — the delta problem is the
+// handful of switches the event touches, every clean switch splices its
+// cached per-switch LP, and the result is bit-identical to a from-scratch
+// solve (compared field by field below, not within a tolerance).
+//
+// Exit is non-zero if the sub-second gate or bit-identity fails;
+// scripts/verify-all.sh chains this fatally. Results → BENCH_incremental.json.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_json.h"
+
+#include "placement/generator.h"
+#include "placement/heuristic.h"
+#include "placement/incremental.h"
+#include "placement/model.h"
+
+using namespace farm::placement;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Bit-identical: every placement field equal (doubles compared exactly),
+// same MU. lp_solves is a cache-miss diagnostic, not part of the contract.
+bool identical(const PlacementResult& a, const PlacementResult& b) {
+  if (a.placements.size() != b.placements.size()) return false;
+  if (a.total_utility != b.total_utility) return false;
+  for (std::size_t i = 0; i < a.placements.size(); ++i) {
+    const auto& x = a.placements[i];
+    const auto& y = b.placements[i];
+    if (x.seed != y.seed || x.node != y.node || x.variant != y.variant ||
+        x.utility != y.utility || !(x.alloc == y.alloc))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  GeneratorSpec spec;
+  spec.n_switches = 1040;
+  spec.n_tasks = 100;
+  spec.seeds_per_task = 1000;  // 100k seeds total
+  spec.seed = 7;
+  auto problem = generate_problem(spec);
+  std::printf("incremental placement — %zu seeds, %zu switches\n\n",
+              problem.seeds.size(), problem.switches.size());
+
+  farm::bench::BenchJson out("incremental");
+  out.record("seeds", static_cast<double>(problem.seeds.size()), "count");
+  out.record("switches", static_cast<double>(problem.switches.size()), "count");
+
+  IncrementalPlacer placer;  // defaults: max_delta_fraction 0.25
+
+  // Cold resolve = the full solve every reoptimize used to pay.
+  auto t0 = std::chrono::steady_clock::now();
+  auto cold = placer.resolve(problem);
+  double full_seconds = seconds_since(t0);
+  bool ok = placer.last_stats().fallback_reason == "cold";
+  std::printf("%-28s %8.3fs  (MU %.0f, %llu LP solves)\n", "full solve (cold)",
+              full_seconds, cold.total_utility,
+              static_cast<unsigned long long>(cold.lp_solves));
+  out.record("full_solve_seconds", full_seconds, "seconds");
+
+  // --- single seed arrival -------------------------------------------------
+  auto arrival_problem = problem;
+  SeedModel newcomer = arrival_problem.seeds.front();
+  newcomer.id = "bench/arrival#0";
+  newcomer.candidates.resize(1);  // lands on exactly one switch
+  arrival_problem.seeds.push_back(newcomer);
+
+  t0 = std::chrono::steady_clock::now();
+  auto incr_arrival = placer.resolve(arrival_problem);
+  double arrival_seconds = seconds_since(t0);
+  const auto arrival_stats = placer.last_stats();
+
+  t0 = std::chrono::steady_clock::now();
+  auto ref_arrival = solve_heuristic(arrival_problem, placer.options().heuristic);
+  double ref_seconds = seconds_since(t0);
+
+  bool arrival_identical = identical(incr_arrival, ref_arrival);
+  ok = ok && arrival_identical && arrival_stats.incremental &&
+       arrival_seconds < 1.0;
+  std::printf("%-28s %8.3fs  (dirty %zu/%zu, %llu hits, vs %.3fs scratch)\n",
+              "arrival (incremental)", arrival_seconds,
+              arrival_stats.dirty_switches, arrival_stats.total_switches,
+              static_cast<unsigned long long>(arrival_stats.cache_hits),
+              ref_seconds);
+  out.record("arrival_seconds", arrival_seconds, "seconds");
+  out.record("arrival_scratch_seconds", ref_seconds, "seconds");
+  out.record("arrival_dirty_switches",
+             static_cast<double>(arrival_stats.dirty_switches), "count");
+  out.record("arrival_cache_hits",
+             static_cast<double>(arrival_stats.cache_hits), "count");
+  out.record("arrival_identical", arrival_identical ? 1.0 : 0.0, "bool");
+  out.record("arrival_speedup",
+             arrival_seconds > 0 ? ref_seconds / arrival_seconds : 0.0, "x");
+
+  // --- single seed departure ----------------------------------------------
+  // Back to the base problem: the newcomer leaves. The cached cold result
+  // is the from-scratch reference for this exact problem.
+  t0 = std::chrono::steady_clock::now();
+  auto incr_departure = placer.resolve(problem);
+  double departure_seconds = seconds_since(t0);
+  const auto departure_stats = placer.last_stats();
+
+  bool departure_identical = identical(incr_departure, cold);
+  ok = ok && departure_identical && departure_stats.incremental &&
+       departure_seconds < 1.0;
+  std::printf("%-28s %8.3fs  (dirty %zu/%zu, %llu hits)\n",
+              "departure (incremental)", departure_seconds,
+              departure_stats.dirty_switches, departure_stats.total_switches,
+              static_cast<unsigned long long>(departure_stats.cache_hits));
+  out.record("departure_seconds", departure_seconds, "seconds");
+  out.record("departure_dirty_switches",
+             static_cast<double>(departure_stats.dirty_switches), "count");
+  out.record("departure_identical", departure_identical ? 1.0 : 0.0, "bool");
+
+  // Safety net: the spliced results satisfy (C1)-(C4).
+  if (!validate_placement(arrival_problem, incr_arrival).empty() ||
+      !validate_placement(problem, incr_departure).empty()) {
+    std::printf("INVALID spliced placement!\n");
+    ok = false;
+  }
+
+  out.record("sub_second_gate", ok ? 1.0 : 0.0, "bool");
+  std::printf("\nsub-second incremental re-optimization, bit-identical: %s\n",
+              ok ? "HOLDS" : "VIOLATED");
+  return ok ? 0 : 1;
+}

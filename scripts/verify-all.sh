@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# verify-all: configure + build + test the eight supported configurations
+# verify-all: configure + build + test the nine supported configurations
 # in sequence — default (RelWithDebInfo), Sickle lint over the corpus and
 # example seeds, the DiSketch accuracy goldens (`accuracy` label), the
 # Silo sharded-store suite at FARM_THREADS=16 (`silo` label — exercises
 # the multi-shard defaults and parallel query folds this host's core count
-# may not), the Furrow profiler suite (`profile` label), ASan+UBSan,
-# telemetry compiled out, and TSan over the Combine-labelled concurrency
-# tests (the worker pool and the parallel placement/sweep paths, run at
-# FARM_THREADS=8). Then the Furrow overhead gate: bench_profiler must show
+# may not), the incremental-placement suite (`incremental` label), the
+# Furrow profiler suite (`profile` label), ASan+UBSan, telemetry compiled
+# out, and TSan over the Combine-labelled concurrency tests (the worker
+# pool and the parallel placement/sweep paths, run at FARM_THREADS=8).
+# Then two fatal bench gates: bench_incremental must re-optimize a single
+# seed event on the 100k-seed fabric in under a second, bit-identical to a
+# full solve, and bench_profiler must show
 # ≤2% end-to-end cost on the instrumented 10k-seed solve — fatal. A final
 # non-fatal clang-tidy stage (scripts/lint.sh) reports a finding count
 # without breaking the chain. Workflow presets cannot mix configure
@@ -20,7 +23,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-workflows=(verify-default verify-lint verify-accuracy verify-silo verify-profile verify-asan verify-telemetry-off verify-tsan)
+workflows=(verify-default verify-lint verify-accuracy verify-silo verify-incremental verify-profile verify-asan verify-telemetry-off verify-tsan)
 failed=()
 
 for wf in "${workflows[@]}"; do
@@ -29,6 +32,15 @@ for wf in "${workflows[@]}"; do
     failed+=("${wf}")
   fi
 done
+
+# Incremental placement gate: a single seed arrival/departure on the
+# 100k-seed, 1040-switch fabric must re-optimize in under a second and
+# stay bit-identical to a from-scratch solve (bench_incremental exits
+# non-zero otherwise) — fatal, it guards the delta-solve contract.
+echo "==== stage: incremental placement gate (bench_incremental) ===="
+if ! build/bench/bench_incremental; then
+  failed+=(bench_incremental)
+fi
 
 # Furrow overhead gate: the instrumented 10k-seed solve must stay within
 # 2% of the profiler-off run (bench_profiler exits non-zero otherwise) —

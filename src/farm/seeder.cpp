@@ -10,6 +10,18 @@
 
 namespace farm::core {
 
+namespace {
+
+placement::IncrementalOptions placer_options(const SeederOptions& o) {
+  placement::IncrementalOptions io;
+  io.heuristic = o.heuristic;
+  io.max_delta_fraction = o.max_delta_fraction;
+  io.pod_of = o.pod_of;
+  return io;
+}
+
+}  // namespace
+
 Seeder::Seeder(sim::Engine& engine, const net::SdnController& controller,
                MessageBus& bus, std::vector<Soil*> soils,
                SeederOptions options)
@@ -17,7 +29,8 @@ Seeder::Seeder(sim::Engine& engine, const net::SdnController& controller,
       controller_(controller),
       bus_(bus),
       soils_(std::move(soils)),
-      options_(options) {
+      options_(options),
+      placer_(placer_options(options_)) {
   tel_ = &engine_.telemetry();
   track_ = tel_->track("seeder");
   m_heartbeats_ = tel_->counter("seeder.heartbeats");
@@ -27,6 +40,7 @@ Seeder::Seeder(sim::Engine& engine, const net::SdnController& controller,
   m_deployments_ = tel_->counter("seeder.deployments");
   m_migrations_ = tel_->counter("seeder.migrations");
   m_reoptimizes_ = tel_->counter("seeder.reoptimizes");
+  m_reopt_deferred_ = tel_->counter("seeder.reoptimizes_deferred");
   m_miss_ = tel_->counter("seeder.heartbeat_miss");
   m_transient_ = tel_->counter("seeder.transients");
   m_downtime_gauge_ = tel_->gauge("seeder.last_downtime_ms");
@@ -37,9 +51,15 @@ Seeder::Seeder(sim::Engine& engine, const net::SdnController& controller,
     bus_.attach_soil(*soil);
     soil->set_depletion_callback([this](Soil&) {
       // Placement inputs changed (a soil's resources are depleting): the
-      // seeder re-optimizes, unless the depletion was caused by its own
-      // ongoing realization.
-      if (!reoptimizing_) reoptimize();
+      // seeder re-optimizes. Depletions raised while a reoptimize is in
+      // flight used to be dropped on the floor on the assumption they were
+      // self-caused by the ongoing realization; a depletion caused by a
+      // concurrent event (failure mid-realize, a seed growing its own
+      // allocation) vanished with them. reoptimize() now defers re-entrant
+      // requests via a pending flag instead, and realize() skips no-op
+      // set_allocation calls so a self-caused depletion cannot re-arm the
+      // flag forever.
+      reoptimize();
     });
     health_[soil->node()] = NodeHealth{engine_.now(), false};
   }
@@ -110,7 +130,10 @@ void Seeder::on_node_failed(Soil& soil) {
   // stays in soils_ so heartbeats keep probing it for a reboot.
   bus_.detach_soil(soil.node());
   // Re-place over the survivors; deployments made here replace the seeds the
-  // failure displaced.
+  // failure displaced. The dead switch is a topology-change hint for the
+  // incremental placer (its seeds' candidate switches get dirtied by the
+  // problem diff itself).
+  placer_.mark_dirty(soil.node());
   std::uint64_t before = deployments_;
   reoptimize();
   reseed_count_.add(deployments_ - before);
@@ -133,8 +156,11 @@ void Seeder::on_node_recovered(net::NodeId node) {
   h.last_seen = engine_.now();
   Soil* soil = soil_at(node);
   if (soil) bus_.attach_soil(*soil);
+  placer_.mark_dirty(node);
   reoptimize();
 }
+
+void Seeder::on_topology_change(net::NodeId node) { placer_.mark_dirty(node); }
 
 std::vector<net::NodeId> Seeder::failed_nodes() const {
   std::vector<net::NodeId> out;
@@ -306,7 +332,6 @@ placement::PlacementProblem Seeder::build_problem() const {
 }
 
 void Seeder::realize(const placement::PlacementResult& result) {
-  reoptimizing_ = true;
   // Index entries by seed id string.
   std::unordered_map<std::string, const placement::PlacementEntry*> by_id;
   for (const auto& e : result.placements) by_id[e.seed] = &e;
@@ -331,7 +356,14 @@ void Seeder::realize(const placement::PlacementResult& result) {
         continue;
       }
       if (*current == e.node) {
-        target->set_allocation(ps.id, e.alloc);
+        // Skip byte-identical re-allocations. Beyond saving the soil
+        // round-trip, this is what lets the deferred-reoptimize loop
+        // terminate: set_allocation on a >90%-utilized soil re-fires the
+        // depletion callback, so a realization that changes nothing must
+        // not touch the soil or it would re-arm the pending flag forever.
+        Seed* running = target->find(ps.id);
+        if (!running || !(target->allocation(*running) == e.alloc))
+          target->set_allocation(ps.id, e.alloc);
         continue;
       }
       // Live migration: ship the description + state to the target; the
@@ -368,10 +400,9 @@ void Seeder::realize(const placement::PlacementResult& result) {
           });
     }
   }
-  reoptimizing_ = false;
 }
 
-void Seeder::reoptimize() {
+void Seeder::reoptimize_once() {
   tel_->add(m_reoptimizes_);
   // The solve itself is host computation (zero virtual time); the span marks
   // *when* placement ran so traces correlate it with the triggering fault.
@@ -382,10 +413,45 @@ void Seeder::reoptimize() {
     placement::MilpPlacementOptions mo;
     mo.timeout_seconds = options_.milp_timeout_seconds;
     last_ = placement::solve_milp_placement(problem, mo);
+  } else if (options_.incremental) {
+    last_ = placer_.resolve(problem);
   } else {
     last_ = placement::solve_heuristic(problem, options_.heuristic);
   }
   realize(last_);
+}
+
+void Seeder::reoptimize() {
+  if (reoptimizing_) {
+    // A re-placement request landed while one is already in flight (e.g. a
+    // switch failed during realize, or a deploy pushed a soil into
+    // depletion). Dropping it here — the old behavior — lost the request
+    // for good; recursing would corrupt the in-flight realization. Defer:
+    // every such request coalesces into one pass after the current one.
+    reoptimize_pending_ = true;
+    tel_->add(m_reopt_deferred_);
+    return;
+  }
+  reoptimizing_ = true;
+  // Bounded drain: the first iteration serves this call, later ones serve
+  // requests deferred during it. Each deferred pass re-solves against the
+  // post-realization fabric, so a quiescent system reaches the solver's
+  // fixed point and realize() (which skips no-op allocations) raises no
+  // further depletions. The cap is a safety net against a pathological
+  // non-converging solve; a request still pending at the cap stays
+  // recorded and is served by the next trigger.
+  constexpr int kMaxPasses = 4;
+  int passes = 0;
+  do {
+    reoptimize_pending_ = false;
+    if (passes > 0) ++deferred_reoptimizes_;
+    reoptimize_once();
+  } while (reoptimize_pending_ && ++passes < kMaxPasses);
+  reoptimizing_ = false;
+  if (reoptimize_pending_) {
+    FARM_LOG(kWarn) << "seeder: reoptimize still pending after " << kMaxPasses
+                    << " passes; deferring to the next trigger";
+  }
 }
 
 bool Seeder::lint_intake(const TaskSpec& spec) {

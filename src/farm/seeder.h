@@ -20,6 +20,7 @@
 
 #include "almanac/verify/verify.h"
 #include "placement/heuristic.h"
+#include "placement/incremental.h"
 #include "placement/milp_placement.h"
 #include "runtime/bus.h"
 #include "runtime/soil.h"
@@ -49,6 +50,17 @@ struct SeederOptions {
   // batches across workers, heuristic.multi_start races perturbed greedy
   // starts — both deterministic at any thread count.
   placement::HeuristicOptions heuristic;
+  // Incremental re-placement (placement/incremental.h): cache the last
+  // solution and re-solve only the per-switch LPs the change touched,
+  // falling back to a full solve when the delta exceeds
+  // max_delta_fraction of the fabric. Results are bit-identical to the
+  // full solve either way; only solve latency differs. Ignored by the
+  // MILP path.
+  bool incremental = true;
+  double max_delta_fraction = 0.25;
+  // Optional pod lookup forwarded to the incremental placer: a dirty
+  // switch dirties its whole pod. Unset on flat spine-leaf fabrics.
+  std::function<int(net::NodeId)> pod_of;
   // Heartbeat-based switch failure detection (§II-C b: the seeder must
   // notice dead switches and re-place their seeds). Zero disables probing.
   sim::Duration heartbeat_period = sim::Duration::ms(250);
@@ -86,10 +98,25 @@ class Seeder {
   std::uint64_t lint_rejections() const { return lint_rejections_; }
   void remove_task(const std::string& name);
   // Re-runs global placement over all installed tasks (also triggered by
-  // soil resource-depletion notifications).
+  // soil resource-depletion notifications). A request arriving while a
+  // reoptimize is already in flight is not dropped: it sets a pending
+  // flag, and one deferred pass (coalescing every such request) runs
+  // after the in-flight one completes.
   void reoptimize();
+  // Topology-change hook for the sim layer (chaos, reroutes): marks the
+  // switch dirty for the next incremental resolve. Does not itself
+  // trigger a reoptimize — the failure-detection / depletion paths do.
+  void on_topology_change(net::NodeId node);
 
   const placement::PlacementResult& last_placement() const { return last_; }
+  // Delta/fallback statistics of the most recent placement resolve
+  // (meaningful when options.incremental is on and the MILP is off).
+  const placement::IncrementalStats& last_incremental() const {
+    return placer_.last_stats();
+  }
+  // Reoptimize requests that arrived mid-reoptimize and were deferred
+  // instead of dropped (the pre-incremental seeder silently lost them).
+  std::uint64_t deferred_reoptimizes() const { return deferred_reoptimizes_; }
   // The optimization input built from the currently installed tasks;
   // exposed so benchmarks can solve it with other algorithms.
   placement::PlacementProblem build_problem() const;
@@ -147,6 +174,9 @@ class Seeder {
   bool lint_intake(const TaskSpec& spec);
   // Elaborates a task spec into planned seeds (steps 1-3).
   std::vector<PlannedSeed> elaborate(const TaskSpec& spec);
+  // One build-problem + solve + realize pass (no re-entrancy handling;
+  // reoptimize() owns the guard and the deferred-pass loop).
+  void reoptimize_once();
   void realize(const placement::PlacementResult& result);
   Soil* soil_at(net::NodeId node) const;
   // Where a planned seed currently runs, if anywhere.
@@ -162,9 +192,15 @@ class Seeder {
   SeederOptions options_;
   std::unordered_map<std::string, InstalledTask> tasks_;
   placement::PlacementResult last_;
+  placement::IncrementalPlacer placer_;
   std::uint64_t migrations_ = 0;
   std::uint64_t deployments_ = 0;
+  // True for the whole reoptimize (solve + realize), not just realize:
+  // re-entrant requests defer via reoptimize_pending_ instead of either
+  // recursing (solver state races) or being dropped (the old bug).
   bool reoptimizing_ = false;
+  bool reoptimize_pending_ = false;
+  std::uint64_t deferred_reoptimizes_ = 0;
   std::vector<almanac::verify::Diagnostic> last_lint_;
   std::uint64_t lint_rejections_ = 0;
 
@@ -186,6 +222,7 @@ class Seeder {
   telemetry::MetricId m_deployments_ = telemetry::kInvalidMetric;
   telemetry::MetricId m_migrations_ = telemetry::kInvalidMetric;
   telemetry::MetricId m_reoptimizes_ = telemetry::kInvalidMetric;
+  telemetry::MetricId m_reopt_deferred_ = telemetry::kInvalidMetric;
   telemetry::MetricId m_miss_ = telemetry::kInvalidMetric;
   telemetry::MetricId m_transient_ = telemetry::kInvalidMetric;
   telemetry::MetricId m_downtime_gauge_ = telemetry::kInvalidMetric;

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <vector>
 
+#include "lp/revised.h"
 #include "telemetry/prof.h"
 
 namespace farm::lp {
@@ -160,7 +161,7 @@ Solution SimplexSolver::run() {
   // Early size guard: row skeletons below are dense (n doubles per row),
   // so an oversized instance must be refused BEFORE densification — the
   // tableau itself can only be larger.
-  if ((n + 1) * m > opt_.max_tableau_cells) {
+  if (exceeds_cell_budget(m, n, opt_.max_tableau_cells)) {
     sol.status = SolveStatus::kTimeLimit;  // instance too big: solver gives up
     return sol;
   }
@@ -211,7 +212,7 @@ Solution SimplexSolver::run() {
   t.n_total = n + n_slack + n_art;
   t.first_artificial = n + n_slack;
 
-  if ((t.n_total + 1) * raw.size() > opt_.max_tableau_cells) {
+  if (exceeds_cell_budget(raw.size(), t.n_total, opt_.max_tableau_cells)) {
     sol.status = SolveStatus::kTimeLimit;  // instance too big: solver gives up
     return sol;
   }
@@ -335,8 +336,24 @@ Solution SimplexSolver::run() {
 
 }  // namespace
 
+// Historically this guard lived twice in this file with two hand-expanded
+// formulas — `(n + 1) * m` at the skeleton stage and `(n_total + 1) * m`
+// at densification — which could disagree (and silently wrap) near the
+// boundary. Every entry point, dense and sparse, now rejects through this
+// single predicate.
+bool exceeds_cell_budget(std::size_t rows, std::size_t cols_excl_rhs,
+                         std::size_t max_cells) {
+  if (rows == 0) return false;
+  if (cols_excl_rhs == std::numeric_limits<std::size_t>::max()) return true;
+  const std::size_t cols = cols_excl_rhs + 1;  // + rhs column
+  // rows * cols > max_cells, without the multiply that could overflow.
+  return cols > max_cells / rows;
+}
+
 Solution solve_lp(const Model& model, const LpOptions& options) {
   FARM_PROF_SCOPE("simplex");
+  if (options.algorithm == LpAlgorithm::kRevisedSparse)
+    return solve_lp_revised(model, options);
   SimplexSolver solver(model, options);
   return solver.run();
 }

@@ -5,6 +5,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "placement/memo.h"
 #include "placement/switch_lp.h"
 #include "telemetry/prof.h"
 #include "util/check.h"
@@ -154,6 +155,17 @@ PlacementResult solve_single_start(const PlacementProblem& problem,
   FARM_PROF_TASK("placement/start");
   PlacementResult result;
 
+  // Every redistribution LP goes through the memo when one is attached;
+  // cached values are pure functions of the inputs, so the two paths
+  // produce bit-identical placements (see memo.h).
+  auto redistribute = [memo = options.memo](
+                          const SwitchModel& sw,
+                          const std::vector<PinnedSeed>& pinned,
+                          const ResourcesValue& res, std::uint64_t* solves) {
+    return memo ? memo->redistribute(sw, pinned, res, solves)
+                : redistribute_on_switch(sw, pinned, res, solves);
+  };
+
   std::unordered_map<net::NodeId, SwitchState> switches;
   for (const auto& sw : problem.switches) switches[sw.node].model = &sw;
 
@@ -169,23 +181,34 @@ PlacementResult solve_single_start(const PlacementProblem& problem,
     double min_util = 0;
   };
   ResourcesValue unbounded{1e9, 1e9, 1e9, 1e9};
-  auto per_seed_infos = pool.parallel_map<std::vector<VariantInfo>>(
+  struct PrecomputeOut {
+    std::vector<VariantInfo> infos;
+    std::uint64_t solves = 0;
+  };
+  auto per_seed_infos = pool.parallel_map<PrecomputeOut>(
       problem.seeds.size(), [&](std::size_t i) {
         FARM_PROF_TASK("placement/precompute");
-        std::vector<VariantInfo> infos;
-        infos.reserve(problem.seeds[i].variants.size());
+        PrecomputeOut out;
+        out.infos.reserve(problem.seeds[i].variants.size());
         for (const auto& v : problem.seeds[i].variants) {
           VariantInfo vi;
-          vi.min_alloc = minimal_allocation(v, unbounded);
-          if (vi.min_alloc) vi.min_util = v.utility(*vi.min_alloc);
-          infos.push_back(vi);
+          if (options.memo) {
+            auto e = options.memo->variant_info(v, unbounded, &out.solves);
+            vi.min_alloc = e.min_alloc;
+            vi.min_util = e.min_util;
+          } else {
+            vi.min_alloc = minimal_allocation(v, unbounded);
+            if (vi.min_alloc) vi.min_util = v.utility(*vi.min_alloc);
+            ++out.solves;
+          }
+          out.infos.push_back(vi);
         }
-        return infos;
+        return out;
       });
   std::unordered_map<const SeedModel*, std::vector<VariantInfo>> variant_info;
   for (std::size_t i = 0; i < problem.seeds.size(); ++i) {
-    result.lp_solves += problem.seeds[i].variants.size();
-    variant_info[&problem.seeds[i]] = std::move(per_seed_infos[i]);
+    result.lp_solves += per_seed_infos[i].solves;
+    variant_info[&problem.seeds[i]] = std::move(per_seed_infos[i].infos);
   }
 
   // Greedy decisions survive the scope block below into step 3.
@@ -354,9 +377,9 @@ PlacementResult solve_single_start(const PlacementProblem& problem,
         FARM_PROF_TASK("placement/step3");
         const SwitchState& st = switches.find(step3_nodes[i])->second;
         Step3Out out;
-        out.lp = redistribute_on_switch(*st.model, st.pinned,
-                                        reserved_of(reserved, step3_nodes[i]),
-                                        &out.solves);
+        out.lp = redistribute(*st.model, st.pinned,
+                              reserved_of(reserved, step3_nodes[i]),
+                              &out.solves);
         return out;
       });
 
@@ -450,7 +473,7 @@ PlacementResult solve_single_start(const PlacementProblem& problem,
           const SwitchState& target = switches.find(job.to)->second;
           auto target_pinned = target.pinned;
           target_pinned.push_back({job.seed, job.variant});
-          auto target_lp = redistribute_on_switch(
+          auto target_lp = redistribute(
               *target.model, target_pinned, reserved_of(reserved, job.to),
               &out.solves);
           if (!target_lp) return out;
@@ -471,8 +494,8 @@ PlacementResult solve_single_start(const PlacementProblem& problem,
             source_res.RAM += own.RAM;
             source_res.TCAM += own.TCAM;
           }
-          auto source_lp = redistribute_on_switch(
-              *source.model, source_pinned, source_res, &out.solves);
+          auto source_lp = redistribute(*source.model, source_pinned,
+                                        source_res, &out.solves);
           if (!source_lp) return out;
           out.benefit = (target_lp->utility - utility_of(switch_utility, job.to)) +
                         (source_lp->utility - utility_of(switch_utility, job.from));
@@ -512,9 +535,9 @@ PlacementResult solve_single_start(const PlacementProblem& problem,
       }
       auto dst_pinned = dst.pinned;
       dst_pinned.push_back({mv.seed, mv.variant});
-      auto dst_lp = redistribute_on_switch(*dst.model, dst_pinned,
-                                           reserved_of(reserved, mv.to),
-                                           &result.lp_solves);
+      auto dst_lp = redistribute(*dst.model, dst_pinned,
+                                 reserved_of(reserved, mv.to),
+                                 &result.lp_solves);
       if (!dst_lp) {
         FARM_PROF_COUNT("placement.migration.rejected", 1);
         continue;
@@ -531,8 +554,8 @@ PlacementResult solve_single_start(const PlacementProblem& problem,
         src_res.RAM += own.RAM;
         src_res.TCAM += own.TCAM;
       }
-      auto src_lp = redistribute_on_switch(*src.model, src_pinned, src_res,
-                                           &result.lp_solves);
+      auto src_lp = redistribute(*src.model, src_pinned, src_res,
+                                 &result.lp_solves);
       if (!src_lp) {
         FARM_PROF_COUNT("placement.migration.rejected", 1);
         continue;

@@ -27,6 +27,8 @@
 
 namespace farm::placement {
 
+class SolveMemo;
+
 struct HeuristicOptions {
   bool enable_migration_pass = true;
   // Upper bound on (seed, alternative-switch) benefit evaluations; keeps
@@ -41,6 +43,12 @@ struct HeuristicOptions {
   // total utility wins; ties go to the lowest start index, so the result
   // is deterministic at any thread count.
   int multi_start = 1;
+  // Optional LP memo (memo.h): every minimal-allocation and per-switch
+  // redistribution LP is looked up by exact content first. Cached values
+  // are pure functions of their keys, so the placement is bit-identical
+  // with or without a memo; only `lp_solves` (cache misses) differs.
+  // The caller owns the memo and must call memo->prepare(problem) first.
+  SolveMemo* memo = nullptr;
 };
 
 PlacementResult solve_heuristic(const PlacementProblem& problem,

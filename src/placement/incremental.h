@@ -1,0 +1,110 @@
+// Incremental placement: delta solves against a cached solution.
+//
+// Seeder::reoptimize used to re-run Algorithm 1 over the whole fabric on
+// every seed arrival/departure/failure. IncrementalPlacer keeps the last
+// problem + solution and, on the next resolve, diffs the new problem
+// against the snapshot to find the *dirty* switches — switches whose
+// capacity changed, that appeared/disappeared, that are a candidate or
+// the current/previous home of any added/removed/changed seed, or that
+// were hinted dirty by a topology-change hook — optionally expanded to
+// their pod neighbors. The delta problem is the set of per-switch LPs
+// those dirty switches induce: only they miss the SolveMemo (memo.h);
+// every clean switch splices its cached LP result. The cheap global
+// greedy re-runs in full, so the spliced result is bit-identical to a
+// from-scratch solve by construction — not within a tolerance.
+//
+// Fallbacks (both produce a full, cache-refreshing solve):
+//   * the dirty set exceeds max_delta_fraction of the fabric (a delta
+//     that touches most switches caches nothing worth keeping), or
+//   * validate_placement rejects the spliced result (cannot happen by
+//     construction; belt-and-braces against a corrupted cache).
+//
+// See DESIGN.md §14 for the delta-construction and splice rules.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "placement/heuristic.h"
+#include "placement/memo.h"
+#include "placement/model.h"
+
+namespace farm::placement {
+
+struct IncrementalOptions {
+  HeuristicOptions heuristic;
+  // Dirty-switch fraction above which the resolve falls back to a full,
+  // cache-refreshing solve. 0 forces every non-cold resolve to fall back;
+  // 1 never falls back on size.
+  double max_delta_fraction = 0.25;
+  // Optional pod lookup: when set, a dirty switch dirties its whole pod
+  // (migration pricing reaches pod neighbors first, so their cached LPs
+  // are the likeliest to be stale-keyed anyway).
+  std::function<int(net::NodeId)> pod_of;
+  // Re-validate spliced results against (C1)-(C4); a rejection triggers
+  // the full-solve fallback.
+  bool validate_splice = true;
+  // Switch-LP cache entries untouched for this many resolves are evicted.
+  std::uint64_t keep_generations = 2;
+};
+
+struct IncrementalStats {
+  bool incremental = false;   // delta path taken (memo splice used)
+  bool fell_back = false;     // delta path abandoned mid-resolve
+  std::string fallback_reason;  // "", "cold", "delta_fraction", "validation"
+  std::size_t dirty_switches = 0;
+  std::size_t total_switches = 0;
+  std::uint64_t cache_hits = 0;    // this resolve only
+  std::uint64_t cache_misses = 0;  // this resolve only
+};
+
+class IncrementalPlacer {
+ public:
+  explicit IncrementalPlacer(IncrementalOptions options = {})
+      : opt_(std::move(options)) {}
+
+  // Solve `problem`, incrementally when the cached snapshot allows it.
+  // The returned placement is bit-identical to
+  // solve_heuristic(problem, options.heuristic) at any thread count.
+  PlacementResult resolve(const PlacementProblem& problem);
+
+  // Topology-change hook: mark a switch dirty for the next resolve (node
+  // failed/recovered, link flip rerouted its pod, chassis reconfigured).
+  void mark_dirty(net::NodeId node) { external_dirty_.push_back(node); }
+
+  // Drop every cached artifact; the next resolve is cold.
+  void invalidate();
+
+  const IncrementalStats& last_stats() const { return stats_; }
+  const IncrementalOptions& options() const { return opt_; }
+  SolveMemo& memo_for_testing() { return memo_; }
+
+ private:
+  std::unordered_set<net::NodeId> dirty_switches(
+      const PlacementProblem& problem) const;
+  void snapshot(const PlacementProblem& problem,
+                const PlacementResult& result);
+
+  IncrementalOptions opt_;
+  SolveMemo memo_;
+  IncrementalStats stats_;
+
+  bool have_snapshot_ = false;
+  // id → full content (variants, polls, candidates, task) for diffing.
+  std::unordered_map<std::string, std::string> seed_snapshot_;
+  // id → candidate switches of the snapshotted seed.
+  std::unordered_map<std::string, std::vector<net::NodeId>> seed_candidates_;
+  // node → capacity/alpha content.
+  std::unordered_map<net::NodeId, std::string> switch_snapshot_;
+  // id → current/assigned node at snapshot time (kInvalidNode = unplaced).
+  std::unordered_map<std::string, net::NodeId> placement_snapshot_;
+  std::unordered_map<std::string, net::NodeId> assigned_snapshot_;
+  // id → current_alloc content.
+  std::unordered_map<std::string, std::string> alloc_snapshot_;
+  std::vector<net::NodeId> external_dirty_;
+};
+
+}  // namespace farm::placement

@@ -1,0 +1,182 @@
+#include "placement/memo.h"
+
+#include <cstring>
+
+#include "telemetry/prof.h"
+
+namespace farm::placement {
+
+namespace {
+
+// Exact-content serialization: doubles appended as raw bytes, so keys
+// compare bitwise (no formatting round-trip, no tolerance).
+void put_bytes(std::string& out, const void* p, std::size_t n) {
+  out.append(static_cast<const char*>(p), n);
+}
+
+void put_u64(std::string& out, std::uint64_t v) { put_bytes(out, &v, 8); }
+
+void put_double(std::string& out, double v) { put_bytes(out, &v, 8); }
+
+void put_resources(std::string& out, const ResourcesValue& r) {
+  put_double(out, r.vCPU);
+  put_double(out, r.RAM);
+  put_double(out, r.TCAM);
+  put_double(out, r.PCIe);
+}
+
+void put_poly(std::string& out, const Poly& p) {
+  put_double(out, p.c0);
+  for (double c : p.coeff) put_double(out, c);
+}
+
+void put_variant(std::string& out, const UtilityVariant& v) {
+  put_u64(out, v.constraints.size());
+  for (const auto& c : v.constraints) put_poly(out, c);
+  put_u64(out, v.util_min_terms.size());
+  for (const auto& t : v.util_min_terms) put_poly(out, t);
+}
+
+// The LP-relevant content of a seed: variants and polls. Ids, task names
+// and candidate lists never reach the per-switch LP, so two seeds with
+// equal content share a token (a pure perf win — keys only need to
+// distinguish what the solver can observe).
+void seed_lp_content(std::string& out, const SeedModel& s) {
+  out.clear();
+  put_u64(out, s.variants.size());
+  for (const auto& v : s.variants) put_variant(out, v);
+  put_u64(out, s.polls.size());
+  for (const auto& p : s.polls) {
+    put_u64(out, p.subject.size());
+    out += p.subject;
+    put_poly(out, p.inv_ival);
+  }
+}
+
+}  // namespace
+
+void SolveMemo::prepare(const PlacementProblem& problem) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++generation_;
+  token_by_seed_.clear();
+  token_by_seed_.reserve(problem.seeds.size());
+  std::string content;  // reused across seeds; copied only on first sight
+  for (const auto& s : problem.seeds) {
+    seed_lp_content(content, s);
+    auto [it, inserted] = token_by_content_.try_emplace(content, next_token_);
+    if (inserted) ++next_token_;
+    token_by_seed_[&s] = it->second;
+  }
+}
+
+void SolveMemo::finish(std::uint64_t keep_generations) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  token_by_seed_.clear();
+  if (generation_ < keep_generations) return;
+  const std::uint64_t floor = generation_ - keep_generations;
+  for (auto it = switch_cache_.begin(); it != switch_cache_.end();) {
+    if (it->second.generation < floor)
+      it = switch_cache_.erase(it);
+    else
+      ++it;
+  }
+}
+
+void SolveMemo::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  token_by_content_.clear();
+  token_by_seed_.clear();
+  variant_cache_.clear();
+  switch_cache_.clear();
+  next_token_ = 1;
+}
+
+SolveMemo::VariantEntry SolveMemo::variant_info(const UtilityVariant& variant,
+                                                const ResourcesValue& cap,
+                                                std::uint64_t* solves) {
+  // Reused per-thread buffer: key building is the hot path of a memoized
+  // solve (hundreds of thousands of lookups per resolve), and a fresh
+  // std::string per call spends more on allocator churn than the LP it
+  // saves. The map copies the buffer only on a miss.
+  thread_local std::string key;
+  key.clear();
+  put_variant(key, variant);
+  put_resources(key, cap);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = variant_cache_.find(key);
+    if (it != variant_cache_.end()) {
+      ++hits_;
+      FARM_PROF_COUNT("placement.memo.hits", 1);
+      return it->second;
+    }
+  }
+  VariantEntry entry;
+  entry.min_alloc = minimal_allocation(variant, cap);
+  if (entry.min_alloc) entry.min_util = variant.utility(*entry.min_alloc);
+  if (solves) ++*solves;
+  FARM_PROF_COUNT("placement.memo.misses", 1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++misses_;
+  // First insert wins; a concurrent loser computed the identical value.
+  return variant_cache_.try_emplace(key, entry).first->second;
+}
+
+std::optional<SwitchLpResult> SolveMemo::redistribute(
+    const SwitchModel& sw, const std::vector<PinnedSeed>& seeds,
+    const ResourcesValue& reserved, std::uint64_t* solves) {
+  // Key building happens outside the mutex: token_by_seed_ is written only
+  // by prepare()/finish()/clear(), which the contract keeps sequential with
+  // the solve, so concurrent workers only ever read it here. The buffer is
+  // per-thread and reused (see variant_info).
+  thread_local std::string key;
+  key.clear();
+  std::uint32_t node = sw.node;
+  put_bytes(key, &node, 4);
+  put_resources(key, sw.capacity);
+  put_double(key, sw.alpha_poll);
+  put_resources(key, reserved);
+  put_u64(key, seeds.size());
+  for (const auto& ps : seeds) {
+    auto it = token_by_seed_.find(ps.seed);
+    if (it == token_by_seed_.end()) {
+      // Not interned (direct solve_heuristic call without prepare()):
+      // skip the cache rather than risk a wrong key.
+      key.clear();
+      break;
+    }
+    put_u64(key, it->second);
+    std::int32_t variant = ps.variant;
+    put_bytes(key, &variant, 4);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!key.empty()) {
+      auto it = switch_cache_.find(key);
+      if (it != switch_cache_.end()) {
+        ++hits_;
+        it->second.generation = generation_;
+        FARM_PROF_COUNT("placement.memo.hits", 1);
+        return it->second.result;
+      }
+    }
+  }
+  auto result = redistribute_on_switch(sw, seeds, reserved, solves);
+  if (key.empty()) return result;
+  FARM_PROF_COUNT("placement.memo.misses", 1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++misses_;
+  auto [it, inserted] =
+      switch_cache_.try_emplace(key, SwitchEntry{result, generation_});
+  if (!inserted) it->second.generation = generation_;
+  return it->second.result;
+}
+
+void SolveMemo::poison_switch_entries_for_testing(const SwitchLpResult& fake) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [_, entry] : switch_cache_)
+    if (entry.result && entry.result->allocs.size() == fake.allocs.size())
+      entry.result = fake;
+}
+
+}  // namespace farm::placement

@@ -1,0 +1,94 @@
+// Memoization of the pure LP sub-solves inside Algorithm 1.
+//
+// Both expensive layers of the heuristic are pure functions of their
+// inputs: the per-variant minimal allocation (one 4-variable LP per
+// variant) and the per-switch redistribution LP (capacity, α_poll,
+// pinned (seed, variant) sequence, reserved residue). SolveMemo caches
+// them under exact-content keys — every double is compared bitwise, so a
+// cache hit returns the very value a fresh solve would compute and the
+// overall placement stays bit-identical to an uncached run. This is what
+// makes the incremental path (incremental.h) exact: clean switches
+// splice their cached LP results, only dirty ones actually solve.
+//
+// Thread safety: lookups/inserts are mutex-protected and values are pure
+// functions of their keys, so concurrent workers racing on the same key
+// insert identical values — results never depend on scheduling. The one
+// scheduling-dependent quantity is the miss count (two workers can miss
+// the same key concurrently and both solve), so `lp_solves` under a memo
+// reports cache misses, not logical LPs, and is excluded from the
+// bit-identity contract.
+//
+// Seed tokens: switch-LP keys name each pinned seed by an interned token
+// assigned in prepare() — one sequential pass over the problem before the
+// parallel solve — so per-lookup key building is O(pinned) instead of
+// re-serializing seed contents on every call.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "placement/model.h"
+#include "placement/switch_lp.h"
+
+namespace farm::placement {
+
+class SolveMemo {
+ public:
+  struct VariantEntry {
+    std::optional<ResourcesValue> min_alloc;
+    double min_util = 0;
+  };
+
+  // Interns every seed of `problem` (token = exact content of variants +
+  // polls). Call sequentially before the solve that uses this memo.
+  void prepare(const PlacementProblem& problem);
+  // Drops the per-solve pointer table (seed pointers dangle once the
+  // problem is destroyed) and evicts entries untouched for more than
+  // `keep_generations` solves.
+  void finish(std::uint64_t keep_generations);
+
+  // Full invalidation: the next solve recomputes everything.
+  void clear();
+
+  // Memoized minimal_allocation + utility-at-minimum for one variant.
+  // Increments *solves only on a miss.
+  VariantEntry variant_info(const UtilityVariant& variant,
+                            const ResourcesValue& cap, std::uint64_t* solves);
+
+  // Memoized redistribute_on_switch. Falls through to a direct solve when
+  // a pinned seed was not interned by prepare().
+  std::optional<SwitchLpResult> redistribute(const SwitchModel& sw,
+                                             const std::vector<PinnedSeed>& seeds,
+                                             const ResourcesValue& reserved,
+                                             std::uint64_t* solves);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::size_t switch_entries() const { return switch_cache_.size(); }
+
+  // Test hook: overwrite a cached switch-LP entry in place (all existing
+  // keys keep matching but return this result). Lets tests exercise the
+  // splice-validation fallback, which never triggers by construction.
+  void poison_switch_entries_for_testing(const SwitchLpResult& fake);
+
+ private:
+  struct SwitchEntry {
+    std::optional<SwitchLpResult> result;
+    std::uint64_t generation = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::uint64_t> token_by_content_;
+  std::unordered_map<const SeedModel*, std::uint64_t> token_by_seed_;
+  std::unordered_map<std::string, VariantEntry> variant_cache_;
+  std::unordered_map<std::string, SwitchEntry> switch_cache_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t next_token_ = 1;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace farm::placement

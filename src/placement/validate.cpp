@@ -2,6 +2,9 @@
 #include <cmath>
 #include <map>
 #include <set>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "placement/model.h"
 
@@ -26,11 +29,13 @@ double res_dim(const ResourcesValue& r, std::size_t d) {
 
 double recompute_utility(const PlacementProblem& problem,
                          const PlacementResult& result) {
+  std::unordered_map<std::string, const SeedModel*> seed_by_id;
+  seed_by_id.reserve(problem.seeds.size());
+  for (const auto& s : problem.seeds) seed_by_id[s.id] = &s;
   double total = 0;
   for (const auto& e : result.placements) {
-    const SeedModel* seed = nullptr;
-    for (const auto& s : problem.seeds)
-      if (s.id == e.seed) seed = &s;
+    auto it = seed_by_id.find(e.seed);
+    const SeedModel* seed = it == seed_by_id.end() ? nullptr : it->second;
     if (!seed) continue;
     if (e.variant < 0 ||
         static_cast<std::size_t>(e.variant) >= seed->variants.size())
@@ -47,13 +52,22 @@ std::vector<std::string> validate_placement(const PlacementProblem& problem,
   std::vector<std::string> errors;
   auto fail = [&errors](std::string msg) { errors.push_back(std::move(msg)); };
 
-  std::map<std::string, const SeedModel*> seed_by_id;
+  // Hashed indexes: validation runs after every incremental splice, so it
+  // must stay O(placements + switches) — the old per-switch scan over all
+  // placements (with an ordered-map lookup per pair) was quadratic and
+  // dominated a 100k-seed resolve.
+  std::unordered_map<std::string_view, const SeedModel*> seed_by_id;
+  seed_by_id.reserve(problem.seeds.size());
   for (const auto& s : problem.seeds) seed_by_id[s.id] = &s;
+  std::unordered_map<net::NodeId, const SwitchModel*> switch_by_node;
+  switch_by_node.reserve(problem.switches.size());
+  for (const auto& sw : problem.switches) switch_by_node[sw.node] = &sw;
 
   // Per-seed checks + uniqueness.
-  std::set<std::string> placed;
-  std::map<std::string, std::set<std::string>> task_placed, task_all;
-  for (const auto& s : problem.seeds) task_all[s.task].insert(s.id);
+  std::unordered_set<std::string_view> placed;
+  placed.reserve(result.placements.size());
+  std::map<std::string_view, std::size_t> task_placed, task_all;
+  for (const auto& s : problem.seeds) ++task_all[s.task];
 
   for (const auto& e : result.placements) {
     auto it = seed_by_id.find(e.seed);
@@ -66,7 +80,7 @@ std::vector<std::string> validate_placement(const PlacementProblem& problem,
       fail("seed placed twice: " + e.seed);  // C1: at most one switch
       continue;
     }
-    task_placed[s.task].insert(e.seed);
+    ++task_placed[s.task];
     if (std::find(s.candidates.begin(), s.candidates.end(), e.node) ==
         s.candidates.end())
       fail("seed " + e.seed + " placed outside N^s");
@@ -81,69 +95,73 @@ std::vector<std::string> validate_placement(const PlacementProblem& problem,
       if (c.eval(e.alloc) < -tolerance)
         fail("seed " + e.seed + " violates C2: " + c.to_string());
     // C3: allocation within the switch's total capacity.
-    const SwitchModel* sw = problem.switch_model(e.node);
-    if (!sw) {
+    auto swit = switch_by_node.find(e.node);
+    if (swit == switch_by_node.end()) {
       fail("seed " + e.seed + " placed on unknown switch");
       continue;
     }
     for (std::size_t d = 0; d < almanac::kNumResources; ++d)
-      if (res_dim(e.alloc, d) > res_dim(sw->capacity, d) + tolerance)
+      if (res_dim(e.alloc, d) > res_dim(swit->second->capacity, d) + tolerance)
         fail("seed " + e.seed + " violates C3 on dim " + std::to_string(d));
   }
 
   // C1: a task is placed entirely or not at all.
   for (const auto& [task, all] : task_all) {
     auto it = task_placed.find(task);
-    std::size_t n = it == task_placed.end() ? 0 : it->second.size();
-    if (n != 0 && n != all.size())
-      fail("task " + task + " partially placed (" + std::to_string(n) + "/" +
-           std::to_string(all.size()) + ")");
+    std::size_t n = it == task_placed.end() ? 0 : it->second;
+    if (n != 0 && n != all)
+      fail("task " + std::string(task) + " partially placed (" +
+           std::to_string(n) + "/" + std::to_string(all) + ")");
   }
 
   // C4: per-switch totals. Non-poll resources sum allocations (plus the
   // migration double-charge for seeds that moved away from their current
-  // switch); the poll resource sums per-subject maxima.
-  for (const auto& sw : problem.switches) {
+  // switch); the poll resource sums per-subject maxima. One pass over the
+  // placements accumulates every switch's load.
+  struct SwitchLoad {
     ResourcesValue used{};
-    std::map<std::string, double> pollres;  // subject → demand
-    for (const auto& e : result.placements) {
-      const SeedModel& s = *seed_by_id.at(e.seed);
-      bool here = e.node == sw.node;
-      // Migration residue: seed currently on sw but moving elsewhere keeps
-      // its old allocation until state transfer completes.
-      auto cur = problem.current_placement.find(e.seed);
-      bool migrating_away = cur != problem.current_placement.end() &&
-                            cur->second == sw.node && e.node != sw.node;
-      if (here) {
-        used.vCPU += e.alloc.vCPU;
-        used.RAM += e.alloc.RAM;
-        used.TCAM += e.alloc.TCAM;
-        for (const auto& p : s.polls) {
-          double demand = sw.alpha_poll * p.inv_ival.eval(e.alloc);
-          auto [it2, _] = pollres.try_emplace(p.subject, 0.0);
-          it2->second = std::max(it2->second, demand);
-        }
-      }
-      if (migrating_away) {
-        auto ra = problem.current_alloc.find(e.seed);
-        if (ra != problem.current_alloc.end()) {
-          used.vCPU += ra->second.vCPU;
-          used.RAM += ra->second.RAM;
-          used.TCAM += ra->second.TCAM;
-          for (const auto& p : s.polls) {
-            double demand = sw.alpha_poll * p.inv_ival.eval(ra->second);
-            auto [it2, _] = pollres.try_emplace(p.subject, 0.0);
-            it2->second = std::max(it2->second, demand);
-          }
-        }
-      }
+    std::map<std::string_view, double> pollres;  // subject → max demand
+  };
+  std::unordered_map<net::NodeId, SwitchLoad> load;
+  load.reserve(problem.switches.size());
+  auto charge = [](SwitchLoad& l, const SwitchModel& sw, const SeedModel& s,
+                   const ResourcesValue& alloc) {
+    l.used.vCPU += alloc.vCPU;
+    l.used.RAM += alloc.RAM;
+    l.used.TCAM += alloc.TCAM;
+    for (const auto& p : s.polls) {
+      double demand = sw.alpha_poll * p.inv_ival.eval(alloc);
+      auto [it, _] = l.pollres.try_emplace(p.subject, 0.0);
+      it->second = std::max(it->second, demand);
     }
-    if (used.vCPU > sw.capacity.vCPU + tolerance ||
-        used.RAM > sw.capacity.RAM + tolerance ||
-        used.TCAM > sw.capacity.TCAM + tolerance)
+  };
+  for (const auto& e : result.placements) {
+    auto sit = seed_by_id.find(e.seed);
+    if (sit == seed_by_id.end()) continue;  // reported above
+    const SeedModel& s = *sit->second;
+    if (auto swit = switch_by_node.find(e.node); swit != switch_by_node.end())
+      charge(load[e.node], *swit->second, s, e.alloc);
+    // Migration residue: a seed moving away keeps its old allocation on
+    // its current switch until state transfer completes.
+    auto cur = problem.current_placement.find(e.seed);
+    if (cur == problem.current_placement.end() || cur->second == e.node)
+      continue;
+    auto swit = switch_by_node.find(cur->second);
+    if (swit == switch_by_node.end()) continue;
+    if (auto ra = problem.current_alloc.find(e.seed);
+        ra != problem.current_alloc.end())
+      charge(load[cur->second], *swit->second, s, ra->second);
+  }
+  for (const auto& sw : problem.switches) {
+    auto lit = load.find(sw.node);
+    if (lit == load.end()) continue;  // nothing placed, nothing to exceed
+    const SwitchLoad& l = lit->second;
+    if (l.used.vCPU > sw.capacity.vCPU + tolerance ||
+        l.used.RAM > sw.capacity.RAM + tolerance ||
+        l.used.TCAM > sw.capacity.TCAM + tolerance)
       fail("switch " + std::to_string(sw.node) + " over non-poll capacity");
     double total_poll = 0;
-    for (const auto& [_, d] : pollres) total_poll += d;
+    for (const auto& [_, d] : l.pollres) total_poll += d;
     if (total_poll > sw.capacity.PCIe + tolerance)
       fail("switch " + std::to_string(sw.node) + " over polling capacity");
   }

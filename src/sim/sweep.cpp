@@ -1,5 +1,7 @@
 #include "sim/sweep.h"
 
+#include <algorithm>
+
 #include "telemetry/prof.h"
 #include "util/pool.h"
 
@@ -29,10 +31,26 @@ SweepResult run_scenarios(std::size_t count, const ScenarioFn& fn,
   SweepResult result;
   FARM_PROF_SCOPE("sweep/run");
   util::ThreadPool pool(options.threads);
-  result.runs = pool.parallel_map<ScenarioMetrics>(count, [&](std::size_t i) {
-    FARM_PROF_TASK("sweep/scenario");
-    Engine engine;
-    return fn(i, engine);
+  result.runs.resize(count);
+  if (count == 0) return result;
+  // Contiguous chunks, a few per worker: enough slack for load balance,
+  // few enough that each engine amortizes its warmed-up buffers over
+  // several scenarios.
+  std::size_t chunks = options.chunks;
+  if (chunks == 0)
+    chunks = std::min<std::size_t>(
+        count, static_cast<std::size_t>(pool.size()) * 4);
+  chunks = std::min(std::max<std::size_t>(chunks, 1), count);
+  const std::size_t per = (count + chunks - 1) / chunks;
+  pool.parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * per;
+    const std::size_t end = std::min(count, begin + per);
+    Engine engine;  // reused (reset) across the chunk's scenarios
+    for (std::size_t i = begin; i < end; ++i) {
+      FARM_PROF_TASK("sweep/scenario");
+      if (i != begin) engine.reset();
+      result.runs[i] = fn(i, engine);
+    }
   });
   return result;
 }

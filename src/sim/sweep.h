@@ -26,6 +26,14 @@ namespace farm::sim {
 struct SweepOptions {
   // 0 = resolve via util::ThreadPool::default_threads() (FARM_THREADS).
   int threads = 0;
+  // Scenarios are dispatched in contiguous chunks; each chunk reuses one
+  // Engine (reset between scenarios) instead of constructing a fresh one
+  // per scenario, keeping the event-heap and hash-set capacity warm.
+  // 0 = auto (a few chunks per worker for load balance). The chunking is
+  // unobservable in the results: Engine::reset restores the
+  // default-constructed state, so every scenario is bit-identical to a
+  // fresh-engine run at any chunk count.
+  std::size_t chunks = 0;
 };
 
 // Named measurements one scenario reduces to. std::map keeps key order
@@ -40,9 +48,12 @@ struct ScenarioMetrics {
   bool operator==(const ScenarioMetrics&) const = default;
 };
 
-// Builds and runs scenario `index` inside `engine` (fresh per scenario) and
-// returns its metrics. Must be safe to call concurrently for distinct
-// indices: no mutable shared state beyond the engine handed in.
+// Builds and runs scenario `index` inside `engine` and returns its
+// metrics. The engine arrives in its default-constructed state (fresh or
+// reset — indistinguishable). Must be safe to call concurrently for
+// distinct indices: no mutable shared state beyond the engine handed in,
+// and nothing may outlive the call while holding engine references (the
+// engine is reset before the next scenario reuses it).
 using ScenarioFn = std::function<ScenarioMetrics(std::size_t index,
                                                  Engine& engine)>;
 
@@ -60,8 +71,8 @@ struct SweepResult {
   bool operator==(const SweepResult&) const = default;
 };
 
-// Runs `count` scenarios across the configured number of threads. Each
-// scenario gets a fresh Engine; results land in index order.
+// Runs `count` scenarios across the configured number of threads in
+// engine-reusing chunks; results land in index order.
 SweepResult run_scenarios(std::size_t count, const ScenarioFn& fn,
                           const SweepOptions& options = {});
 

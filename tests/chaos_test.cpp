@@ -510,5 +510,81 @@ TEST(ChaosTest, TransientCrashIsRecordedWithoutDeclaringFailure) {
   }
 }
 
+// A seed whose utility grows with vCPU: the per-switch LP allocates the
+// whole core budget, so every deploy leaves the soil >90% utilized and
+// fires the depletion callback *during* the seeder's own realization.
+constexpr const char* kHungryAll = R"ALM(
+machine Hungry {
+  place all;
+  long n = 0;
+  state run {
+    util (res) { if (res.vCPU >= 0.1) then { return res.vCPU; } }
+    when (enter) do { n = n + 1; }
+  }
+}
+)ALM";
+
+// Regression for the re-entrancy drop at the seeder's depletion callback:
+// re-placement requests raised while reoptimize() was in flight used to be
+// silently discarded. Installing a vCPU-hungry task makes every deploy
+// trip the depletion threshold mid-realize; those requests must now
+// coalesce into (at least one, boundedly many) deferred reoptimize passes
+// instead of vanishing — and the deferred pass must terminate instead of
+// re-arming itself off its own no-op reallocations.
+TEST(ChaosTest, DepletionMidRealizeDefersOneReoptimizeInsteadOfDropping) {
+  FarmSystem farm(FarmSystemConfig{
+      .topology = {.spines = 2, .leaves = 2, .hosts_per_leaf = 1}});
+  auto ids = farm.install_task({.name = "hungry", .source = kHungryAll});
+  ASSERT_FALSE(ids.empty());
+  EXPECT_GE(farm.seeder().deferred_reoptimizes(), 1u)
+      << "mid-realize depletion was dropped, not deferred";
+  // Bounded: the deferred pass re-solves an unchanged problem, realizes
+  // nothing (no-op allocations are skipped), and so raises no further
+  // depletions — no runaway reoptimize loop.
+  EXPECT_LE(farm.seeder().deferred_reoptimizes(), 3u);
+  const std::uint64_t settled = farm.seeder().deferred_reoptimizes();
+  farm.run_for(Duration::sec(1));
+  EXPECT_EQ(farm.seeder().deferred_reoptimizes(), settled);
+}
+
+// The issue's chaos scenario: a switch fails in the middle of an ongoing
+// reoptimize. The re-placement request raised for it must survive the
+// in-flight solve (deferred, then served), and the fleet must converge —
+// heartbeat detection declares the victim dead and the seeds leave it.
+TEST(ChaosTest, SwitchFailureMidReoptimizeIsDeferredAndServed) {
+  FarmSystem farm(FarmSystemConfig{
+      .topology = {.spines = 2, .leaves = 3, .hosts_per_leaf = 1}});
+  Seeder& seeder = farm.seeder();
+  net::NodeId trigger = farm.fabric().leaf_switches[0];
+  net::NodeId victim = farm.fabric().leaf_switches[1];
+
+  // Replace the seeder's depletion callback on the trigger soil: the first
+  // depletion its deploy raises (guaranteed mid-realize by the hungry
+  // task) crashes the victim switch and requests a re-placement while the
+  // seeder is still realizing the previous one.
+  bool fired = false;
+  farm.soil(trigger).set_depletion_callback([&](Soil&) {
+    if (fired) return;
+    fired = true;
+    farm.soil(victim).crash();
+    farm.chassis(victim).power_off();
+    farm.topology_mut().set_node_state(victim, false);
+    seeder.on_topology_change(victim);
+    seeder.reoptimize();  // mid-reoptimize: must defer, not drop or recurse
+  });
+
+  farm.install_task({.name = "hungry", .source = kHungryAll});
+  ASSERT_TRUE(fired);
+  EXPECT_GE(seeder.deferred_reoptimizes(), 1u)
+      << "the mid-reoptimize request never ran";
+
+  // Heartbeats notice the crash; the post-detection reoptimize re-places
+  // the survivors and nothing runs on the dead switch.
+  farm.run_for(Duration::sec(2));
+  EXPECT_TRUE(seeder.node_failed(victim));
+  for (const auto& id : seeder.seeds_of_task("hungry"))
+    EXPECT_NE(hosting_node(farm, id), victim);
+}
+
 }  // namespace
 }  // namespace farm::core

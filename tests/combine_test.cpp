@@ -292,4 +292,23 @@ TEST(CombineSweepTest, EnginesAreIndependentAcrossScenarios) {
   }
 }
 
+TEST(CombineSweepTest, EngineReuseChunkingIsUnobservable) {
+  // chunks=count constructs a fresh engine per scenario (the historical
+  // runner); every other chunking reuses engines via Engine::reset. All
+  // of them must produce bit-identical sweeps.
+  const std::size_t n = 24;
+  auto fresh =
+      sim::run_scenarios(n, chaos_like_scenario, {.threads = 2, .chunks = n});
+  for (std::size_t chunks : {std::size_t{1}, std::size_t{3}, std::size_t{7},
+                             std::size_t{16}}) {
+    auto r = sim::run_scenarios(n, chaos_like_scenario,
+                                {.threads = 2, .chunks = chunks});
+    SCOPED_TRACE(testing::Message() << "chunks=" << chunks);
+    EXPECT_TRUE(fresh == r);
+  }
+  // Auto chunking too.
+  auto r = sim::run_scenarios(n, chaos_like_scenario, {.threads = 2});
+  EXPECT_TRUE(fresh == r);
+}
+
 }  // namespace

@@ -1,0 +1,266 @@
+// IncrementalPlacer: delta solves spliced from the SolveMemo must be
+// bit-identical to from-scratch Algorithm 1 — not close, identical — at
+// any thread count, across arbitrary sequences of seed arrivals,
+// departures, switch failures/recoveries and capacity changes. Also pins
+// the fallback triggers: cold start, delta-fraction gate, and splice
+// validation (exercised via a deliberately poisoned cache).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "placement/generator.h"
+#include "placement/heuristic.h"
+#include "placement/incremental.h"
+#include "util/pool.h"
+#include "util/rng.h"
+
+namespace farm::placement {
+namespace {
+
+// Exact equality, every double compared bitwise. lp_solves is excluded by
+// contract (cache misses are scheduling-dependent under a memo).
+void expect_identical(const PlacementResult& a, const PlacementResult& b,
+                      const std::string& what) {
+  ASSERT_EQ(a.placements.size(), b.placements.size()) << what;
+  for (std::size_t i = 0; i < a.placements.size(); ++i) {
+    const auto& x = a.placements[i];
+    const auto& y = b.placements[i];
+    EXPECT_EQ(x.seed, y.seed) << what << " entry " << i;
+    EXPECT_EQ(x.node, y.node) << what << " entry " << i;
+    EXPECT_EQ(x.variant, y.variant) << what << " entry " << i;
+    EXPECT_EQ(x.utility, y.utility) << what << " entry " << i;
+    EXPECT_EQ(x.alloc.vCPU, y.alloc.vCPU) << what << " entry " << i;
+    EXPECT_EQ(x.alloc.RAM, y.alloc.RAM) << what << " entry " << i;
+    EXPECT_EQ(x.alloc.TCAM, y.alloc.TCAM) << what << " entry " << i;
+    EXPECT_EQ(x.alloc.PCIe, y.alloc.PCIe) << what << " entry " << i;
+  }
+  EXPECT_EQ(a.total_utility, b.total_utility) << what;
+}
+
+PlacementProblem base_problem(std::uint64_t seed) {
+  GeneratorSpec spec;
+  spec.n_switches = 12;
+  spec.n_tasks = 3;
+  spec.seeds_per_task = 10;
+  spec.seed = seed;
+  return generate_problem(spec);
+}
+
+// One deterministic mutation per step, cycling through the event kinds the
+// seeder produces: arrivals, departures, switch failure/recovery, capacity
+// drift, and current-placement drift.
+void mutate(PlacementProblem& p, std::vector<SwitchModel>& failed,
+            util::Rng& rng, int step) {
+  switch (step % 6) {
+    case 0: {  // seed arrival: clone an existing seed under a new id
+      const SeedModel& src =
+          p.seeds[rng.next_below(p.seeds.size())];
+      SeedModel s = src;
+      s.id = "arrival-" + std::to_string(step);
+      p.seeds.push_back(std::move(s));
+      break;
+    }
+    case 1: {  // seed departure
+      std::size_t i = rng.next_below(p.seeds.size());
+      p.current_placement.erase(p.seeds[i].id);
+      p.current_alloc.erase(p.seeds[i].id);
+      p.seeds.erase(p.seeds.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+    case 2: {  // switch failure
+      if (p.switches.size() <= 2) break;
+      std::size_t i = rng.next_below(p.switches.size());
+      failed.push_back(p.switches[i]);
+      p.switches.erase(p.switches.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+    case 3: {  // switch recovery
+      if (failed.empty()) break;
+      p.switches.push_back(failed.back());
+      failed.pop_back();
+      break;
+    }
+    case 4: {  // capacity drift on one switch
+      SwitchModel& sw = p.switches[rng.next_below(p.switches.size())];
+      sw.capacity.vCPU *= 0.9;
+      sw.capacity.RAM *= 0.95;
+      break;
+    }
+    default: {  // current-placement drift: a seed moved outside our control
+      const SeedModel& s = p.seeds[rng.next_below(p.seeds.size())];
+      if (!s.candidates.empty())
+        p.current_placement[s.id] =
+            s.candidates[rng.next_below(s.candidates.size())];
+      break;
+    }
+  }
+}
+
+TEST(IncrementalPlacerTest, ColdResolveMatchesFullSolveAndReportsCold) {
+  auto problem = base_problem(1);
+  IncrementalPlacer placer;
+  auto inc = placer.resolve(problem);
+  EXPECT_FALSE(placer.last_stats().incremental);
+  EXPECT_EQ(placer.last_stats().fallback_reason, "cold");
+  auto full = solve_heuristic(problem, placer.options().heuristic);
+  expect_identical(inc, full, "cold resolve");
+}
+
+TEST(IncrementalPlacerTest, DeltaResolveAfterSingleArrivalIsIncremental) {
+  auto problem = base_problem(2);
+  IncrementalPlacer placer;
+  placer.resolve(problem);
+
+  SeedModel extra = problem.seeds.front();
+  extra.id = "late-arrival";
+  extra.candidates.resize(1);  // touches one switch
+  problem.seeds.push_back(extra);
+
+  auto inc = placer.resolve(problem);
+  const auto& st = placer.last_stats();
+  EXPECT_TRUE(st.incremental);
+  EXPECT_FALSE(st.fell_back);
+  EXPECT_GT(st.dirty_switches, 0u);
+  EXPECT_LE(static_cast<double>(st.dirty_switches),
+            0.25 * static_cast<double>(st.total_switches) + 1);
+  EXPECT_GT(st.cache_hits, 0u) << "clean switches must splice cached LPs";
+  expect_identical(inc, solve_heuristic(problem, placer.options().heuristic),
+                   "single arrival");
+}
+
+// The property suite from the issue: random arrival/departure/failure
+// sequences, incremental vs from-scratch, at FARM_THREADS ∈ {1, 4, 16}.
+TEST(IncrementalPlacerTest, BitIdenticalAcrossRandomSequencesAt1_4_16Threads) {
+  constexpr int kSteps = 12;
+  std::vector<std::vector<PlacementResult>> per_thread_results;
+  for (int threads : {1, 4, 16}) {
+    util::ScopedThreads scoped(threads);
+    auto problem = base_problem(3);
+    std::vector<SwitchModel> failed;
+    util::Rng rng(99);  // same sequence at every thread count
+    IncrementalOptions opts;
+    opts.max_delta_fraction = 0.5;  // let most steps take the delta path
+    IncrementalPlacer placer(opts);
+    std::vector<PlacementResult> results;
+    bool any_incremental = false;
+    for (int step = 0; step < kSteps; ++step) {
+      auto inc = placer.resolve(problem);
+      any_incremental |= placer.last_stats().incremental;
+      expect_identical(inc, solve_heuristic(problem, opts.heuristic),
+                       "threads=" + std::to_string(threads) + " step=" +
+                           std::to_string(step));
+      results.push_back(std::move(inc));
+      mutate(problem, failed, rng, step);
+    }
+    EXPECT_TRUE(any_incremental)
+        << "sequence never exercised the delta path at threads=" << threads;
+    per_thread_results.push_back(std::move(results));
+  }
+  for (std::size_t t = 1; t < per_thread_results.size(); ++t) {
+    ASSERT_EQ(per_thread_results[t].size(), per_thread_results[0].size());
+    for (std::size_t i = 0; i < per_thread_results[t].size(); ++i)
+      expect_identical(per_thread_results[t][i], per_thread_results[0][i],
+                       "cross-thread step " + std::to_string(i));
+  }
+}
+
+TEST(IncrementalPlacerTest, DeltaFractionZeroForcesFullSolveFallback) {
+  auto problem = base_problem(4);
+  IncrementalOptions opts;
+  opts.max_delta_fraction = 0;
+  IncrementalPlacer placer(opts);
+  placer.resolve(problem);
+
+  problem.switches.front().capacity.vCPU *= 0.5;  // any dirt at all
+  auto r = placer.resolve(problem);
+  const auto& st = placer.last_stats();
+  EXPECT_TRUE(st.fell_back);
+  EXPECT_FALSE(st.incremental);
+  EXPECT_EQ(st.fallback_reason, "delta_fraction");
+  expect_identical(r, solve_heuristic(problem, opts.heuristic),
+                   "fallback result");
+}
+
+TEST(IncrementalPlacerTest, ExternalDirtyHintKeepsResultIdentical) {
+  auto problem = base_problem(5);
+  IncrementalPlacer placer;
+  placer.resolve(problem);
+
+  placer.mark_dirty(problem.switches.front().node);
+  auto r = placer.resolve(problem);  // problem itself unchanged
+  EXPECT_TRUE(placer.last_stats().incremental);
+  EXPECT_EQ(placer.last_stats().dirty_switches, 1u);
+  expect_identical(r, solve_heuristic(problem, placer.options().heuristic),
+                   "hint-only resolve");
+
+  // The hint is consumed: the next resolve sees a clean fabric.
+  placer.resolve(problem);
+  EXPECT_EQ(placer.last_stats().dirty_switches, 0u);
+}
+
+TEST(IncrementalPlacerTest, PoisonedCacheTriggersValidationFallback) {
+  auto problem = base_problem(6);
+  IncrementalOptions opts;
+  opts.heuristic.enable_migration_pass = false;  // keys stable across runs
+  IncrementalPlacer placer(opts);
+  placer.resolve(problem);
+
+  // Corrupt every cached switch-LP entry with allocations far beyond any
+  // capacity: the spliced result must now violate (C2), and the placer
+  // must notice and repair itself with a full solve.
+  for (std::size_t n = 1; n <= 16; ++n) {
+    SwitchLpResult fake;
+    fake.utility = 1;
+    fake.allocs.assign(n, ResourcesValue{1e6, 1e6, 1e6, 1e6});
+    fake.utilities.assign(n, 1);
+    placer.memo_for_testing().poison_switch_entries_for_testing(fake);
+  }
+
+  placer.mark_dirty(problem.switches.front().node);
+  auto r = placer.resolve(problem);
+  const auto& st = placer.last_stats();
+  EXPECT_TRUE(st.fell_back);
+  EXPECT_EQ(st.fallback_reason, "validation");
+  EXPECT_FALSE(st.incremental);
+  // The repaired result is correct and validates.
+  expect_identical(r, solve_heuristic(problem, opts.heuristic),
+                   "post-poison repair");
+  EXPECT_TRUE(validate_placement(problem, r).empty());
+}
+
+TEST(IncrementalPlacerTest, InvalidateForcesColdResolve) {
+  auto problem = base_problem(7);
+  IncrementalPlacer placer;
+  placer.resolve(problem);
+  placer.invalidate();
+  auto r = placer.resolve(problem);
+  EXPECT_EQ(placer.last_stats().fallback_reason, "cold");
+  expect_identical(r, solve_heuristic(problem, placer.options().heuristic),
+                   "post-invalidate");
+}
+
+TEST(IncrementalPlacerTest, PodExpansionDirtiesWholePod) {
+  auto problem = base_problem(8);
+  IncrementalOptions opts;
+  opts.max_delta_fraction = 1.0;
+  // Two pods: switches split by node parity.
+  opts.pod_of = [](net::NodeId n) { return static_cast<int>(n % 2); };
+  IncrementalPlacer placer(opts);
+  placer.resolve(problem);
+
+  placer.mark_dirty(problem.switches.front().node);
+  auto r = placer.resolve(problem);
+  const auto& st = placer.last_stats();
+  // Every same-pod switch is dirty, not just the hinted one.
+  std::size_t pod_size = 0;
+  const int pod = opts.pod_of(problem.switches.front().node);
+  for (const auto& sw : problem.switches)
+    if (opts.pod_of(sw.node) == pod) ++pod_size;
+  EXPECT_EQ(st.dirty_switches, pod_size);
+  expect_identical(r, solve_heuristic(problem, opts.heuristic),
+                   "pod expansion");
+}
+
+}  // namespace
+}  // namespace farm::placement

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "lp/milp.h"
 #include "lp/simplex.h"
@@ -346,6 +347,110 @@ TEST(MilpTest, WarmStartObjectivePrunesWithoutChangingOptimum) {
   tight.warm_start_objective = 9;
   auto pruned = solve_milp(m, tight);
   EXPECT_FALSE(pruned.feasible());
+}
+
+// --- Revised sparse simplex vs dense tableau --------------------------------
+
+// Random LPs mixing senses, finite/infinite upper bounds, and objective
+// signs: both implementations must agree on status and (when optimal) on
+// the objective, and the sparse solution must satisfy the model exactly
+// like the dense one.
+TEST(SimplexTest, SparseAndDenseAgreeOnRandomInstances) {
+  util::Rng rng(2024);
+  LpOptions sparse, dense;
+  sparse.algorithm = LpAlgorithm::kRevisedSparse;
+  dense.algorithm = LpAlgorithm::kDenseTableau;
+  int optimal = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    Model m;
+    m.set_maximize(rng.next_bool(0.5));
+    int n = static_cast<int>(rng.next_int(2, 10));
+    int k = static_cast<int>(rng.next_int(1, 8));
+    for (int j = 0; j < n; ++j) {
+      double ub = rng.next_bool(0.5) ? rng.next_double(1, 20) : kInf;
+      double lo = rng.next_bool(0.3) ? rng.next_double(0, 0.5) : 0;
+      m.add_continuous("x" + std::to_string(j), lo, ub,
+                       rng.next_double(-5, 5));
+    }
+    for (int i = 0; i < k; ++i) {
+      std::vector<Term> terms;
+      for (int j = 0; j < n; ++j)
+        if (rng.next_bool(0.5)) terms.push_back({j, rng.next_double(-2, 3)});
+      if (terms.empty()) terms.push_back({0, 1.0});
+      Sense sense = rng.next_bool(0.6)   ? Sense::kLe
+                    : rng.next_bool(0.5) ? Sense::kGe
+                                         : Sense::kEq;
+      m.add_constraint("c" + std::to_string(i), terms, sense,
+                       rng.next_double(-2, 8));
+    }
+    auto a = solve_lp(m, sparse);
+    auto b = solve_lp(m, dense);
+    ASSERT_EQ(a.status, b.status) << "trial " << trial;
+    if (a.status != SolveStatus::kOptimal) continue;
+    ++optimal;
+    EXPECT_NEAR(a.objective, b.objective, 1e-6) << "trial " << trial;
+    // The sparse solution satisfies every constraint and bound.
+    for (int j = 0; j < n; ++j) {
+      const auto& v = m.vars()[static_cast<std::size_t>(j)];
+      EXPECT_GE(a.value(j), v.lower - 1e-7) << "trial " << trial;
+      EXPECT_LE(a.value(j), v.upper + 1e-7) << "trial " << trial;
+    }
+    for (const auto& c : m.constraints()) {
+      double lhs = 0;
+      for (const auto& t : c.terms) lhs += t.coeff * a.value(t.var);
+      if (c.sense == Sense::kLe) EXPECT_LE(lhs, c.rhs + 1e-6);
+      if (c.sense == Sense::kGe) EXPECT_GE(lhs, c.rhs - 1e-6);
+      if (c.sense == Sense::kEq) EXPECT_NEAR(lhs, c.rhs, 1e-6);
+    }
+  }
+  EXPECT_GE(optimal, 10) << "suite degenerated: too few optimal instances";
+}
+
+TEST(SimplexTest, CellBudgetHelperBoundaryAndOverflow) {
+  // rows * (cols + 1) == budget is allowed; one more cell is not.
+  EXPECT_FALSE(exceeds_cell_budget(10, 9, 100));   // 10 * 10 == 100
+  EXPECT_TRUE(exceeds_cell_budget(10, 10, 100));   // 10 * 11 > 100
+  EXPECT_FALSE(exceeds_cell_budget(0, 1'000'000, 1));  // no rows, no cells
+  // Sizes whose product overflows 64 bits must still reject cleanly.
+  const std::size_t huge = std::numeric_limits<std::size_t>::max() / 2;
+  EXPECT_TRUE(exceeds_cell_budget(huge, huge, huge));
+  EXPECT_TRUE(exceeds_cell_budget(
+      2, std::numeric_limits<std::size_t>::max(), 1'000'000));
+}
+
+// The guard used to live in two hand-duplicated copies (dense build +
+// dense entry); the sparse path added a third client. Sweeping the budget
+// across the whole interesting range must show both algorithms flipping
+// from rejection (kTimeLimit) to solving at exactly the same threshold —
+// the guard is computed on dense-equivalent dimensions for both.
+TEST(SimplexTest, CellBudgetRejectsIdenticallyAcrossAlgorithms) {
+  Model m;
+  VarId x = m.add_continuous("x", 0, 9, 2);     // finite ub → dense ub row
+  VarId y = m.add_continuous("y", 0, kInf, 3);
+  VarId z = m.add_continuous("z", 1, 4, 1);     // shifted + ub row
+  m.add_constraint("c1", {{x, 1}, {y, 2}}, Sense::kLe, 10);
+  m.add_constraint("c2", {{y, 1}, {z, -1}}, Sense::kGe, 1);
+  m.add_constraint("c3", {{x, 1}, {z, 1}}, Sense::kEq, 5);
+
+  LpOptions sparse, dense;
+  sparse.algorithm = LpAlgorithm::kRevisedSparse;
+  dense.algorithm = LpAlgorithm::kDenseTableau;
+  int transitions = 0;
+  SolveStatus prev_sparse = SolveStatus::kTimeLimit;
+  for (std::size_t cells = 1; cells <= 400; ++cells) {
+    sparse.max_tableau_cells = cells;
+    dense.max_tableau_cells = cells;
+    auto a = solve_lp(m, sparse);
+    auto b = solve_lp(m, dense);
+    ASSERT_EQ(a.status, b.status) << "budget " << cells;
+    if (a.status != prev_sparse) {
+      ++transitions;
+      prev_sparse = a.status;
+    }
+  }
+  // Exactly one flip: rejected below the threshold, optimal above it.
+  EXPECT_EQ(transitions, 1);
+  EXPECT_EQ(prev_sparse, SolveStatus::kOptimal);
 }
 
 }  // namespace
