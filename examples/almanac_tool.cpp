@@ -4,6 +4,10 @@
 //   almanac_tool lint [--werror] <file.alm>  Sickle verification (gcc-style
 //                                            diagnostics; exit 1 on errors,
 //                                            and on warnings with --werror)
+//   almanac_tool optimize <file.alm>         Winnow analysis-driven rewrite:
+//                                            per-machine stats, before/after
+//                                            TCAM/PCIe estimates, and a
+//                                            replay-equivalence verdict
 //   almanac_tool xml <file.alm>              emit the XML seed image (§V-A d)
 //   almanac_tool dump-usecases <dir>         write the Table I programs as
 //                                            .alm files into <dir>
@@ -24,6 +28,9 @@
 #include <string>
 
 #include "almanac/analysis.h"
+#include "almanac/opt/optimize.h"
+#include "almanac/opt/replay.h"
+#include "almanac/verify/estimate.h"
 #include "almanac/verify/verify.h"
 #include "almanac/xml.h"
 #include "farm/usecases.h"
@@ -132,6 +139,68 @@ int lint(const std::string& path, bool werror) {
   return 0;
 }
 
+int optimize_cmd(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  net::SpineLeaf fabric = net::build_spine_leaf({});
+  net::SdnController controller(fabric.topo);
+  almanac::verify::VerifyOptions vopts;
+  vopts.controller = &controller;
+
+  try {
+    auto program = almanac::parse_program(buf.str());
+    bool all_ok = true;
+    for (const auto& mdecl : program.machines) {
+      auto cm = almanac::compile_machine(program, mdecl.name);
+      auto result = almanac::opt::optimize_machine(cm);
+      const auto& st = result.stats;
+      std::printf("machine %s%s\n", cm.name.c_str(),
+                  st.applied ? "" : " (rewrite not applied — fell back)");
+      std::printf(
+          "  rewrites: %d const fold(s), %d if splice(s), %d dead loop(s),\n"
+          "            %d handler(s), %d state(s), %d register(s), "
+          "%d store(s)\n",
+          st.folded_consts, st.pruned_ifs, st.deleted_loops,
+          st.removed_handlers, st.removed_states, st.removed_vars,
+          st.removed_stores);
+
+      // Before: the syntactic score the RS pass gates on. After: the
+      // optimized machine re-analyzed so its own loop bounds refine the
+      // estimate (the original analysis keys loop facts by the original
+      // machine's AST nodes).
+      auto before = almanac::verify::estimate_resources(cm, vopts, nullptr);
+      auto facts = almanac::verify::absint::analyze_machine(result.machine);
+      auto after =
+          almanac::verify::estimate_resources(result.machine, vopts, &facts);
+      std::printf("  tcam: %.0f -> %.0f rule(s)", before.tcam_rules,
+                  after.tcam_rules);
+      if (before.tcam_rules > 0)
+        std::printf(" (%.1f%% reduction)",
+                    100.0 * (before.tcam_rules - after.tcam_rules) /
+                        before.tcam_rules);
+      std::printf("\n  pcie: %.3f -> %.3f Mbps\n", before.pcie_mbps,
+                  after.pcie_mbps);
+
+      auto report =
+          almanac::opt::replay_compare(cm, result.machine, result.analysis);
+      std::printf("  replay: %d event(s), %s\n", report.events_run,
+                  report.ok() ? "bit-identical, envelopes hold"
+                              : report.divergence.c_str());
+      if (!report.ok()) all_ok = false;
+    }
+    return all_ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
 int emit_xml(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
@@ -186,12 +255,15 @@ int main(int argc, char** argv) {
     }
     if (!file.empty()) return lint(file, werror);
   }
+  if (argc == 3 && std::string(argv[1]) == "optimize")
+    return optimize_cmd(argv[2]);
   if (argc == 3 && std::string(argv[1]) == "xml") return emit_xml(argv[2]);
   if (argc == 3 && std::string(argv[1]) == "dump-usecases")
     return dump(argv[2]);
   std::fprintf(stderr,
                "usage: almanac_tool check <file.alm>\n"
                "       almanac_tool lint [--werror] <file.alm>\n"
+               "       almanac_tool optimize <file.alm>\n"
                "       almanac_tool xml <file.alm>\n"
                "       almanac_tool dump-usecases <dir>\n");
   return 2;

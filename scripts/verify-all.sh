@@ -1,21 +1,25 @@
 #!/usr/bin/env bash
-# verify-all: configure + build + test the nine supported configurations
+# verify-all: configure + build + test the eleven supported configurations
 # in sequence — default (RelWithDebInfo), Sickle lint over the corpus and
 # example seeds, the DiSketch accuracy goldens (`accuracy` label), the
 # Silo sharded-store suite at FARM_THREADS=16 (`silo` label — exercises
 # the multi-shard defaults and parallel query folds this host's core count
 # may not), the incremental-placement suite (`incremental` label), the
-# Furrow profiler suite (`profile` label), ASan+UBSan, telemetry compiled
+# Furrow profiler suite (`profile` label), the Winnow abstract-interpreter
+# and optimizer suite (`winnow` label), ASan+UBSan, a UBSan-only build
+# over the lint+winnow labels (the interpreter and abstract-interpreter
+# arithmetic edge cases are exactly where UB hides), telemetry compiled
 # out, and TSan over the Combine-labelled concurrency tests (the worker
 # pool and the parallel placement/sweep paths, run at FARM_THREADS=8).
-# Then two fatal bench gates: bench_incremental must re-optimize a single
-# seed event on the 100k-seed fabric in under a second, bit-identical to a
-# full solve, and bench_profiler must show
-# ≤2% end-to-end cost on the instrumented 10k-seed solve — fatal. A final
-# non-fatal clang-tidy stage (scripts/lint.sh) reports a finding count
-# without breaking the chain. Workflow presets cannot mix configure
-# presets, so each configuration is its own workflow and this script is
-# the chain.
+# Then three fatal bench gates: bench_incremental must re-optimize a
+# single seed event on the 100k-seed fabric in under a second,
+# bit-identical to a full solve; bench_profiler must show ≤2% end-to-end
+# cost on the instrumented 10k-seed solve; and bench_winnow must replay
+# every optimized shipped seed bit-identically with ≥3 seeds showing a
+# strict refined-TCAM reduction. A final non-fatal clang-tidy stage
+# (scripts/lint.sh) reports a finding count without breaking the chain.
+# Workflow presets cannot mix configure presets, so each configuration is
+# its own workflow and this script is the chain.
 #
 # Usage: scripts/verify-all.sh [-jN]
 # Any extra arguments are forwarded to every `cmake --workflow` call.
@@ -23,7 +27,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-workflows=(verify-default verify-lint verify-accuracy verify-silo verify-incremental verify-profile verify-asan verify-telemetry-off verify-tsan)
+workflows=(verify-default verify-lint verify-accuracy verify-silo verify-incremental verify-profile verify-winnow verify-asan verify-ubsan verify-telemetry-off verify-tsan)
 failed=()
 
 for wf in "${workflows[@]}"; do
@@ -48,6 +52,16 @@ fi
 echo "==== stage: furrow overhead gate (bench_profiler) ===="
 if ! build/bench/bench_profiler; then
   failed+=(bench_profiler)
+fi
+
+# Winnow soundness gate: every shipped seed's optimized machine must
+# replay bit-identically inside its analysis envelope, and at least three
+# seeds must show a strict refined-TCAM reduction (bench_winnow exits
+# non-zero otherwise) — fatal, it guards the optimizer's behavior
+# contract.
+echo "==== stage: winnow soundness gate (bench_winnow) ===="
+if ! build/bench/bench_winnow; then
+  failed+=(bench_winnow)
 fi
 
 # clang-tidy static analysis: non-fatal — prints its finding count (or a

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace farm::almanac {
 
@@ -15,15 +16,38 @@ double need_num(const Value& v, SourceLoc loc, const char* what) {
   return v.as_float();
 }
 
+// int64 range representable without undefined casts: [-2^63, 2^63) — the
+// upper bound is exclusive because 2^63 itself rounds to a double that is
+// out of range.
+constexpr double kI64DblLo = -9223372036854775808.0;
+constexpr double kI64DblHi = 9223372036854775808.0;
+
 std::int64_t need_int(const Value& v, SourceLoc loc, const char* what) {
   if (v.is_int()) return v.as_int();
   if (v.is_float()) {
     double f = v.as_float();
-    if (f == std::floor(f)) return static_cast<std::int64_t>(f);
+    if (f == std::floor(f) && f >= kI64DblLo && f < kI64DblHi)
+      return static_cast<std::int64_t>(f);
   }
   throw EvalError(std::string(what) + ": expected integer, got " +
                       v.to_string(),
                   loc);
+}
+
+std::int64_t checked_arith(std::int64_t a, std::int64_t b, BinOp op,
+                           SourceLoc loc) {
+  std::int64_t r = 0;
+  bool ovf = op == BinOp::kAdd   ? __builtin_add_overflow(a, b, &r)
+             : op == BinOp::kSub ? __builtin_sub_overflow(a, b, &r)
+                                 : __builtin_mul_overflow(a, b, &r);
+  if (ovf)
+    throw EvalError(std::string("integer overflow in '") +
+                        (op == BinOp::kAdd   ? "+"
+                         : op == BinOp::kSub ? "-"
+                                             : "*") +
+                        "'",
+                    loc);
+  return r;
 }
 
 const net::Filter& need_filter(const Value& v, SourceLoc loc,
@@ -197,21 +221,27 @@ Value Interpreter::eval_binary(const Expr& e, Env& env) {
         return Value(std::move(out));
       }
       if (lhs.is_int() && rhs.is_int())
-        return Value(lhs.as_int() + rhs.as_int());
+        return Value(checked_arith(lhs.as_int(), rhs.as_int(), e.op, e.loc));
       return Value(need_num(lhs, e.loc, "+") + need_num(rhs, e.loc, "+"));
     case BinOp::kSub:
       if (lhs.is_int() && rhs.is_int())
-        return Value(lhs.as_int() - rhs.as_int());
+        return Value(checked_arith(lhs.as_int(), rhs.as_int(), e.op, e.loc));
       return Value(need_num(lhs, e.loc, "-") - need_num(rhs, e.loc, "-"));
     case BinOp::kMul:
       if (lhs.is_int() && rhs.is_int())
-        return Value(lhs.as_int() * rhs.as_int());
+        return Value(checked_arith(lhs.as_int(), rhs.as_int(), e.op, e.loc));
       return Value(need_num(lhs, e.loc, "*") * need_num(rhs, e.loc, "*"));
     case BinOp::kDiv: {
       double denom = need_num(rhs, e.loc, "/");
       if (denom == 0) throw EvalError("division by zero", e.loc);
-      if (lhs.is_int() && rhs.is_int() && lhs.as_int() % rhs.as_int() == 0)
-        return Value(lhs.as_int() / rhs.as_int());
+      if (lhs.is_int() && rhs.is_int()) {
+        std::int64_t a = lhs.as_int();
+        std::int64_t b = rhs.as_int();
+        // INT64_MIN / -1 (and its % probe) overflows int64.
+        if (a == std::numeric_limits<std::int64_t>::min() && b == -1)
+          throw EvalError("integer overflow in '/'", e.loc);
+        if (a % b == 0) return Value(a / b);
+      }
       return Value(need_num(lhs, e.loc, "/") / denom);
     }
     case BinOp::kEq:
@@ -441,7 +471,12 @@ Value Interpreter::builtin(const std::string& name, std::vector<Value>& args,
   }
   if (name == "abs") {
     arity(1);
-    if (args[0].is_int()) return Value(std::abs(args[0].as_int()));
+    if (args[0].is_int()) {
+      std::int64_t v = args[0].as_int();
+      if (v == std::numeric_limits<std::int64_t>::min())
+        throw EvalError("integer overflow in 'abs'", loc);
+      return Value(v < 0 ? -v : v);
+    }
     return Value(std::abs(need_num(args[0], loc, "abs")));
   }
   if (name == "addTCAMRule") {
@@ -699,9 +734,22 @@ Value Interpreter::builtin(const std::string& name, std::vector<Value>& args,
   }
   if (name == "to_long") {
     arity(1);
-    if (args[0].is_string())
-      return Value(static_cast<std::int64_t>(std::stoll(args[0].as_string())));
-    return Value(static_cast<std::int64_t>(need_num(args[0], loc, "to_long")));
+    if (args[0].is_string()) {
+      // std::stoll throws std::invalid_argument / std::out_of_range, which
+      // would escape the runtime's EvalError handler; convert here.
+      try {
+        return Value(
+            static_cast<std::int64_t>(std::stoll(args[0].as_string())));
+      } catch (const std::exception&) {
+        throw EvalError("to_long: cannot parse '" + args[0].as_string() +
+                            "' as an integer",
+                        loc);
+      }
+    }
+    double f = std::trunc(need_num(args[0], loc, "to_long"));
+    if (!(f >= kI64DblLo && f < kI64DblHi))
+      throw EvalError("integer overflow in 'to_long'", loc);
+    return Value(static_cast<std::int64_t>(f));
   }
   if (name == "to_float") {
     arity(1);

@@ -1,0 +1,32 @@
+// Deep-clone utilities for the Almanac AST.
+//
+// Winnow's optimizer never rewrites the program a CompiledMachine borrows
+// from: it clones the flattened machine (plus the reachable functions) into
+// an owned Program and rewrites the clones. The CloneMap records the
+// original -> clone correspondence so facts the analysis keyed on original
+// Expr*/Action* nodes can be transferred onto the rewritten tree.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "almanac/ast.h"
+
+namespace farm::almanac::opt {
+
+struct CloneMap {
+  std::unordered_map<const Expr*, Expr*> exprs;
+  std::unordered_map<const Action*, Action*> actions;
+};
+
+ExprPtr clone_expr(const Expr& e, CloneMap* map = nullptr);
+ActionPtr clone_action(const Action& a, CloneMap* map = nullptr);
+std::vector<ActionPtr> clone_actions(const std::vector<ActionPtr>& actions,
+                                     CloneMap* map = nullptr);
+VarDecl clone_var(const VarDecl& v, CloneMap* map = nullptr);
+UtilityDecl clone_util(const UtilityDecl& u, CloneMap* map = nullptr);
+EventDecl clone_event(const EventDecl& ev, CloneMap* map = nullptr);
+PlaceDirective clone_place(const PlaceDirective& p, CloneMap* map = nullptr);
+FuncDecl clone_function(const FuncDecl& f, CloneMap* map = nullptr);
+
+}  // namespace farm::almanac::opt

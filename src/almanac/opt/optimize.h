@@ -1,0 +1,64 @@
+// Winnow's analysis-driven machine optimizer (DESIGN.md §15).
+//
+// `optimize_machine` runs the abstract interpreter over a compiled machine
+// and uses the proven facts to rewrite a *clone* of it:
+//
+//   - pure expressions with a proven constant value fold to literals;
+//   - `if` statements with a provably-constant, provably-non-throwing
+//     condition splice to the taken branch;
+//   - `while` loops with a provably-false condition disappear;
+//   - states the analysis proved unreachable are deleted (when no surviving
+//     transit still names them);
+//   - enter/exit/realloc handlers left empty by the rewrites are dropped,
+//     which compacts the per-state dispatch tables;
+//   - registers that are never read and provably unobservable are deleted
+//     together with their stores (stores whose right-hand side may have an
+//     effect degrade to expression statements instead of disappearing).
+//
+// Every rewrite is gated on facts strong enough to preserve *bit-identical
+// observable behavior*, including which EvalErrors are raised — the replay
+// harness (replay.h) checks exactly that. When the rewritten machine fails
+// to recompile (which would indicate a bug in the rewriter), the optimizer
+// falls back to an unmodified clone and reports stats.applied = false.
+#pragma once
+
+#include <memory>
+
+#include "almanac/compile.h"
+#include "almanac/verify/absint.h"
+
+namespace farm::almanac::opt {
+
+struct OptimizeStats {
+  int folded_consts = 0;    // expressions replaced by literals
+  int pruned_ifs = 0;       // ifs spliced to the taken branch
+  int deleted_loops = 0;    // whiles with provably-false conditions
+  int removed_handlers = 0; // empty enter/exit/realloc handlers dropped
+  int removed_states = 0;   // provably-unreachable states deleted
+  int removed_vars = 0;     // dead register/local declarations deleted
+  int removed_stores = 0;   // dead stores deleted or degraded to expr-stmts
+  // False when the rewritten machine failed to recompile and the optimizer
+  // fell back to an unmodified clone.
+  bool applied = false;
+
+  int total() const {
+    return folded_consts + pruned_ifs + deleted_loops + removed_handlers +
+           removed_states + removed_vars + removed_stores;
+  }
+};
+
+struct OptimizeResult {
+  // Owns the flattened, rewritten machine plus its reachable functions.
+  std::unique_ptr<Program> program;
+  // Compiled view borrowing from `program`.
+  CompiledMachine machine;
+  // The Winnow analysis of the *original* machine that justified the
+  // rewrites (also what the replay harness checks intervals against).
+  verify::absint::Analysis analysis;
+  OptimizeStats stats;
+};
+
+OptimizeResult optimize_machine(const CompiledMachine& m,
+                                const verify::absint::AbsintOptions& opts = {});
+
+}  // namespace farm::almanac::opt

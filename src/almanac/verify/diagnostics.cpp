@@ -33,12 +33,22 @@ std::size_t DiagnosticSink::count(Severity s) const {
 }
 
 std::vector<Diagnostic> DiagnosticSink::take_sorted() {
+  // Total order: two passes reporting different codes (or severities) at
+  // the same source location must come out in the same sequence no matter
+  // which pass ran first — fixture goldens and the seeder's first-error
+  // surface depend on it. Severity breaks code ties errors-first; the
+  // message is the final tie-break so the order never falls back to
+  // insertion order.
   std::stable_sort(diags_.begin(), diags_.end(),
                    [](const Diagnostic& a, const Diagnostic& b) {
                      if (a.loc.line != b.loc.line) return a.loc.line < b.loc.line;
                      if (a.loc.column != b.loc.column)
                        return a.loc.column < b.loc.column;
-                     return a.code < b.code;
+                     if (a.code != b.code) return a.code < b.code;
+                     if (a.severity != b.severity)
+                       return static_cast<int>(a.severity) >
+                              static_cast<int>(b.severity);
+                     return a.message < b.message;
                    });
   return std::move(diags_);
 }

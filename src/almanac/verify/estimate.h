@@ -1,0 +1,33 @@
+// Static TCAM/PCIe resource estimation for one compiled machine — the
+// numeric core of Sickle's RS pass, exposed so `almanac_tool optimize` and
+// bench_winnow can report before/after footprints.
+//
+// With `facts == nullptr` the TCAM weight is the syntactic estimate the RS
+// pass has always used: every `while` is scored at max_ifaces iterations.
+// With a Winnow analysis attached, loops the engine proved to run at most
+// N times are scored at min(N, max_ifaces) instead — never worse than the
+// syntactic score.
+#pragma once
+
+#include "almanac/verify/absint.h"
+#include "almanac/verify/verify.h"
+
+namespace farm::almanac::verify {
+
+struct ResourceEstimate {
+  double tcam_rules = 0;
+  // Static worst-case poll bandwidth; pcie_analyzable = false (and 0) when
+  // analyze_polls rejects the machine's poll specs.
+  double pcie_mbps = 0;
+  bool pcie_analyzable = true;
+  // `while` loops encountered while weighing, and how many of them carried
+  // a Winnow-proven trip bound.
+  int loops_scored = 0;
+  int loops_bounded = 0;
+};
+
+ResourceEstimate estimate_resources(const CompiledMachine& m,
+                                    const VerifyOptions& opts,
+                                    const absint::Analysis* facts = nullptr);
+
+}  // namespace farm::almanac::verify

@@ -1,0 +1,249 @@
+// Sickle pass AI: Winnow abstract-interpretation findings (DESIGN.md §15).
+//
+//   AI001  integer expression provably overflows the 64-bit range on every
+//          evaluation (the checked interpreter would throw every time).
+//   AI002  division by a provably-zero value.
+//   AI003  guard provably constant with a transition hidden in its dead
+//          branch, or a state only reachable through provably-false guards.
+//   AI004  comparison / condition always true or false (non-literal
+//          operands; literal idioms like `while (1 < 2)` are left alone).
+//   AI005  register written and read, but its value never reaches an
+//          observable effect (condition, transit, send, host call,
+//          utility) — a shadow register that costs snapshot bytes.
+//
+// Unbound externals are Top in the underlying analysis, so every AI fact
+// holds for *all* operator bindings the seeder might apply.
+#include <functional>
+
+#include "almanac/verify/absint.h"
+#include "almanac/verify/passes.h"
+
+namespace farm::almanac::verify {
+
+namespace {
+
+using absint::AbsVal;
+using absint::Analysis;
+
+// Conditions with no variable/field/call operands are deliberate author
+// idioms; constant-folding them is not a finding.
+bool trivially_literal(const Expr& e) {
+  bool has_dynamic = false;
+  walk_expr(e, [&](const Expr& x) {
+    if (x.kind == Expr::Kind::kVarRef || x.kind == Expr::Kind::kFieldAccess ||
+        x.kind == Expr::Kind::kCall || x.kind == Expr::Kind::kFilterAtom)
+      has_dynamic = true;
+  });
+  return !has_dynamic;
+}
+
+bool contains_transit(const std::vector<ActionPtr>& body,
+                      std::string* target) {
+  bool found = false;
+  walk_actions(body, [&](const Action& a) {
+    if (found || a.kind != Action::Kind::kTransit) return;
+    found = true;
+    if (a.expr && a.expr->kind == Expr::Kind::kVarRef)
+      *target = a.expr->name;
+    else
+      *target = "";
+  });
+  return found;
+}
+
+// States reachable ignoring guards (static transit targets; a dynamic
+// transit makes every state reachable) — mirrors pass_state_graph, so
+// AI003's pruned-unreachable finding never duplicates SG001.
+std::set<std::string> syntactic_reachable(const CompiledMachine& m) {
+  std::map<std::string, std::set<std::string>> edges;
+  bool dynamic = false;
+  for (const auto& s : m.states) {
+    for (const auto* ev : s.events) {
+      walk_actions(ev->actions, [&](const Action& a) {
+        if (a.kind != Action::Kind::kTransit || !a.expr) return;
+        if (a.expr->kind == Expr::Kind::kVarRef && m.state(a.expr->name))
+          edges[s.name].insert(a.expr->name);
+        else if (a.expr->kind == Expr::Kind::kLiteral &&
+                 a.expr->literal.is_string() &&
+                 m.state(a.expr->literal.as_string()))
+          edges[s.name].insert(a.expr->literal.as_string());
+        else
+          dynamic = true;
+      });
+      for (const auto& f : reachable_functions(*m.program, ev->actions)) {
+        const FuncDecl* fd = m.program->function(f);
+        if (!fd) continue;
+        walk_actions(fd->body, [&](const Action& a) {
+          if (a.kind == Action::Kind::kTransit) dynamic = true;
+        });
+      }
+    }
+  }
+  std::set<std::string> reach;
+  if (dynamic) {
+    for (const auto& s : m.states) reach.insert(s.name);
+    return reach;
+  }
+  std::vector<std::string> wl{m.initial_state};
+  reach.insert(m.initial_state);
+  while (!wl.empty()) {
+    std::string s = wl.back();
+    wl.pop_back();
+    for (const auto& t : edges[s])
+      if (reach.insert(t).second) wl.push_back(t);
+  }
+  return reach;
+}
+
+}  // namespace
+
+void pass_absint(const CompiledMachine& m, const VerifyOptions& opts,
+                 DiagnosticSink& sink) {
+  absint::AbsintOptions ao;
+  ao.externals = opts.externals;
+  ao.max_ifaces = opts.max_ifaces;
+  Analysis a = absint::analyze_machine(m, ao);
+  if (!a.converged()) return;  // no facts, no findings
+
+  // AI001 / AI002 — ordered by the sink's total sort, so set iteration
+  // order is immaterial.
+  for (const Expr* e : a.overflow_nodes) {
+    std::string range;
+    auto it = a.overflow_ranges.find(e);
+    if (it != a.overflow_ranges.end())
+      range = " (result in " + it->second.to_string() + ")";
+    sink.error(codes::kAbsOverflow, e->loc,
+               "integer expression provably overflows the 64-bit range on "
+               "every evaluation" +
+                   range,
+               "widen or reset the accumulator before it saturates");
+  }
+  for (const Expr* e : a.div_by_zero_nodes) {
+    sink.error(codes::kAbsDivZero, e->loc,
+               "division by a provably-zero value",
+               "the divisor is always 0 here; guard the division or fix "
+               "the operand it is computed from");
+  }
+
+  // AI003 / AI004 — walk every analyzed body once (handlers deduped across
+  // states, then reachable functions), consuming the joined constancy
+  // facts. Conditions inside dead branches and unreachable states carry no
+  // fact and stay silent.
+  std::set<const Expr*> reported;
+  auto fact_bool = [&](const Expr* e, bool* out) {
+    auto it = a.expr_facts.find(e);
+    if (it == a.expr_facts.end() || !it->second.is_const_bool()) return false;
+    *out = it->second.const_bool();
+    return true;
+  };
+  auto scan_body = [&](const std::vector<ActionPtr>& body) {
+    walk_actions(body, [&](const Action& act) {
+      if (act.kind != Action::Kind::kIf && act.kind != Action::Kind::kWhile)
+        return;
+      if (!act.expr || trivially_literal(*act.expr)) return;
+      bool b = false;
+      if (!fact_bool(act.expr.get(), &b)) return;
+      reported.insert(act.expr.get());
+      if (act.kind == Action::Kind::kIf) {
+        const auto& dead = b ? act.else_body : act.body;
+        std::string target;
+        if (contains_transit(dead, &target)) {
+          std::string where = b ? "else-branch" : "branch";
+          std::string to =
+              target.empty() ? "the transition" : "the transition to '" +
+                                                      target + "'";
+          sink.warning(codes::kAbsDeadGuard, act.loc,
+                       "guard is provably " +
+                           std::string(b ? "true" : "false") + "; " + to +
+                           " in its " + where + " can never fire",
+                       "remove the dead branch or fix the guard");
+          return;
+        }
+      }
+      sink.warning(codes::kAbsConstCompare, act.expr->loc,
+                   std::string(act.kind == Action::Kind::kWhile
+                                   ? "loop condition"
+                                   : "condition") +
+                       " is always " + (b ? "true" : "false"),
+                   "fold the condition or fix the operands it compares");
+    });
+    // Bare comparisons not already covered by an if/while report.
+    walk_actions(body, [&](const Action& act) {
+      walk_action_exprs(act, [&](const Expr& e) {
+        if (e.kind != Expr::Kind::kBinary) return;
+        switch (e.op) {
+          case BinOp::kLt:
+          case BinOp::kLe:
+          case BinOp::kGt:
+          case BinOp::kGe:
+          case BinOp::kEq:
+          case BinOp::kNe:
+            break;
+          default:
+            return;
+        }
+        if (reported.count(&e) || trivially_literal(e)) return;
+        bool b = false;
+        if (!fact_bool(&e, &b)) return;
+        reported.insert(&e);
+        sink.warning(codes::kAbsConstCompare, e.loc,
+                     std::string("comparison is always ") +
+                         (b ? "true" : "false"),
+                     "fold the comparison or fix the operands it compares");
+      });
+    });
+  };
+  std::unordered_set<const EventDecl*> seen;
+  std::unordered_set<std::string> fns;
+  for (const auto& s : m.states)
+    for (const auto* ev : s.events) {
+      if (!seen.insert(ev).second) continue;
+      scan_body(ev->actions);
+      for (const auto& f : reachable_functions(*m.program, ev->actions))
+        fns.insert(f);
+    }
+  for (const auto& f : fns)
+    if (const FuncDecl* fd = m.program->function(f)) scan_body(fd->body);
+
+  // AI003 (state form): syntactically reachable, abstractly not — every
+  // path in sits behind a provably-false guard.
+  std::set<std::string> syn = syntactic_reachable(m);
+  for (const auto& s : m.states) {
+    if (!syn.count(s.name)) continue;  // SG001's finding, not ours
+    if (a.reachable_states.count(s.name)) continue;
+    sink.warning(codes::kAbsDeadGuard, s.decl ? s.decl->loc : SourceLoc{},
+                 "state '" + s.name +
+                     "' is unreachable: every transition into it sits "
+                     "behind a provably-false guard",
+                 "remove the state or fix the guards on its in-edges");
+  }
+
+  // AI005 — same declaration scoping as DF004 (own machine vars + state
+  // locals, triggers and externals excluded), but requires the register to
+  // be both written and read: DF004 already owns the never-read case.
+  auto check_unobservable = [&](const VarDecl& v, const std::string& kind) {
+    if (v.trigger || v.external) return;
+    if (!a.assigned_vars.count(v.name)) return;
+    if (!a.read_vars.count(v.name)) return;  // DF004 territory
+    if (a.observable_vars.count(v.name)) return;
+    sink.warning(codes::kAbsUnobservable, v.loc,
+                 kind + " '" + v.name +
+                     "' is written and read but its value never reaches an "
+                     "observable effect (condition, transit, send, or host "
+                     "call)",
+                 "remove the shadow register; it costs snapshot bytes "
+                 "without influencing behavior");
+  };
+  const MachineDecl* own = m.program->machine(m.name);
+  for (const auto* v : m.vars) {
+    bool own_decl = false;
+    if (own)
+      for (const auto& d : own->vars)
+        if (&d == v) own_decl = true;
+    if (own_decl) check_unobservable(*v, "variable");
+  }
+  for (const auto& s : m.states)
+    for (const auto* l : s.locals) check_unobservable(*l, "state local");
+}
+
+}  // namespace farm::almanac::verify

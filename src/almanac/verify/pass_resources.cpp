@@ -25,6 +25,7 @@
 #include <cstdio>
 
 #include "almanac/analysis.h"
+#include "almanac/verify/estimate.h"
 #include "almanac/verify/passes.h"
 #include "net/filter.h"
 
@@ -37,67 +38,14 @@ namespace {
 // does not grow a dependency on sim/cost_model.h.
 constexpr double kPollEntryBytes = 16;
 
-// Worst-case addTCAMRule installs of one action list, loop-scored.
-// `depth_mult` carries the product of enclosing loop bounds.
-double tcam_weight(const Program& program,
-                   const std::vector<ActionPtr>& actions, double depth_mult,
-                   int loop_bound,
-                   std::unordered_set<std::string>& in_progress);
-
-double tcam_expr_weight(const Program& program, const Expr& e,
-                        double depth_mult, int loop_bound,
-                        std::unordered_set<std::string>& in_progress) {
-  double w = 0;
-  walk_expr(e, [&](const Expr& x) {
-    if (x.kind != Expr::Kind::kCall) return;
-    if (x.name == "addTCAMRule") {
-      w += depth_mult;
-    } else if (const FuncDecl* f = program.function(x.name)) {
-      // Recursion guard: a cycle contributes no additional installs.
-      if (in_progress.insert(x.name).second) {
-        w += tcam_weight(program, f->body, depth_mult, loop_bound,
-                         in_progress);
-        in_progress.erase(x.name);
-      }
-    }
-  });
-  return w;
-}
-
-double tcam_weight(const Program& program,
-                   const std::vector<ActionPtr>& actions, double depth_mult,
-                   int loop_bound,
-                   std::unordered_set<std::string>& in_progress) {
-  double w = 0;
-  for (const auto& a : actions) {
-    double mult = depth_mult;
-    if (a->kind == Action::Kind::kWhile) mult *= loop_bound;
-    if (a->expr)
-      w += tcam_expr_weight(program, *a->expr, mult, loop_bound, in_progress);
-    if (a->to_dst)
-      w += tcam_expr_weight(program, *a->to_dst, mult, loop_bound,
-                            in_progress);
-    w += tcam_weight(program, a->body, mult, loop_bound, in_progress);
-    w += tcam_weight(program, a->else_body, depth_mult, loop_bound,
-                     in_progress);
-  }
-  return w;
-}
-
 }  // namespace
 
 void pass_resources(const CompiledMachine& m, const VerifyOptions& opts,
                     DiagnosticSink& sink) {
   // --- TCAM ------------------------------------------------------------------
-  std::unordered_set<const EventDecl*> seen;
-  double rules = 0;
-  for (const auto& s : m.states)
-    for (const auto* ev : s.events)
-      if (seen.insert(ev).second) {
-        std::unordered_set<std::string> guard;
-        rules += tcam_weight(*m.program, ev->actions, 1.0, opts.max_ifaces,
-                             guard);
-      }
+  // Syntactic weight (no Winnow facts): the RS gate stays conservative —
+  // an operator can run `almanac_tool optimize` for the refined score.
+  double rules = estimate_resources(m, opts, nullptr).tcam_rules;
   if (rules > opts.tcam_monitoring_capacity) {
     SourceLoc loc;
     if (const MachineDecl* d = m.program->machine(m.name)) loc = d->loc;

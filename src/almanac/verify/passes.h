@@ -25,6 +25,8 @@ void pass_resources(const CompiledMachine& m, const VerifyOptions& opts,
                     DiagnosticSink& sink);
 void pass_places(const CompiledMachine& m, const VerifyOptions& opts,
                  DiagnosticSink& sink);
+void pass_absint(const CompiledMachine& m, const VerifyOptions& opts,
+                 DiagnosticSink& sink);
 
 // Machine environment for static evaluation, mirroring Seeder::elaborate:
 // externals bindings override initializers; evaluation failures and

@@ -60,6 +60,7 @@ std::vector<Diagnostic> verify_machine(const CompiledMachine& machine,
   pass_utility(machine, options, sink);
   pass_resources(machine, options, sink);
   pass_places(machine, options, sink);
+  pass_absint(machine, options, sink);
   return sink.take_sorted();
 }
 

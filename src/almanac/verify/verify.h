@@ -70,6 +70,12 @@ inline constexpr const char* kPlaceInvalid = "PL002";
 inline constexpr const char* kSketchNotAnalyzable = "SK001";
 inline constexpr const char* kSketchBadParams = "SK002";
 inline constexpr const char* kSketchOverBudget = "SK003";
+// Abstract interpretation (Winnow, DESIGN.md §15).
+inline constexpr const char* kAbsOverflow = "AI001";
+inline constexpr const char* kAbsDivZero = "AI002";
+inline constexpr const char* kAbsDeadGuard = "AI003";
+inline constexpr const char* kAbsConstCompare = "AI004";
+inline constexpr const char* kAbsUnobservable = "AI005";
 }  // namespace codes
 
 struct VerifyOptions {

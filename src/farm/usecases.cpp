@@ -900,6 +900,115 @@ machine SketchEntropy {
 }
 )ALM";
 
+// --- Winnow showcase extensions -----------------------------------------------
+// Three programs whose install loops have small constant bounds. The RS
+// pass scores every loop at 48 iterations; Winnow proves the real trip
+// counts (4 / 8 / 6), so `almanac_tool optimize` and bench_winnow report
+// a large refined-TCAM reduction on exactly these seeds.
+
+// Rate-limits the 4 spine uplinks while a volumetric event is in progress.
+constexpr const char* kUplinkGuard = R"ALM(
+machine UplinkGuard {
+  place all;
+  external long dropThreshold = 500000;
+  poll linkPoll = Poll { .ival = 0.5, .what = port ANY };
+  time calm = 10.0;
+  state watching {
+    util (res) {
+      if (res.vCPU >= 0.05 and res.PCIe >= 1) then { return res.vCPU; }
+    }
+    when (linkPoll as cur) do {
+      long total = 0;
+      long i = 0;
+      while (i < stats_size(cur)) {
+        total = total + stats_packets(cur, i);
+        i = i + 1;
+      }
+      if (total >= dropThreshold) then { transit defending; }
+    }
+  }
+  state defending {
+    util (res) {
+      if (res.vCPU >= 0.05 and res.TCAM >= 4) then { return res.vCPU; }
+    }
+    when (enter) do {
+      long u = 0;
+      while (u < 4) {
+        if (is_nil(getTCAMRule(iface_filter(u)))) then {
+          addTCAMRule(iface_filter(u), action_rate_limit(1000000));
+        }
+        u = u + 1;
+      }
+    }
+    when (calm as t) do {
+      long u = 0;
+      while (u < 4) {
+        removeTCAMRule(iface_filter(u));
+        u = u + 1;
+      }
+      transit watching;
+    }
+  }
+}
+)ALM";
+
+// Pins one counting rule per QoS lane (8 DSCP classes mapped to ports
+// 8000..8007) and reports the aggregate lane traffic each poll.
+constexpr const char* kLaneCounter = R"ALM(
+machine LaneCounter {
+  place all;
+  poll lanePoll = Poll { .ival = 1.0, .what = port ANY };
+  state counting {
+    util (res) {
+      if (res.vCPU >= 0.05 and res.TCAM >= 8) then { return res.vCPU; }
+    }
+    when (enter) do {
+      long c = 0;
+      while (c < 8) {
+        addTCAMRule(dstPort (8000 + c), action_count());
+        c = c + 1;
+      }
+    }
+    when (lanePoll as cur) do {
+      long total = 0;
+      long i = 0;
+      while (i < stats_size(cur)) {
+        total = total + stats_bytes(cur, i);
+        i = i + 1;
+      }
+      send total to harvester;
+    }
+  }
+}
+)ALM";
+
+// Re-arms per-tenant rate quotas (6 /16 prefixes) on a fixed sweep timer
+// and reports how many sweeps have run.
+constexpr const char* kQuotaSweep = R"ALM(
+machine QuotaSweep {
+  place all;
+  external long quotaBps = 2000000;
+  time sweep = 30.0;
+  long epochs = 0;
+  state sweeping {
+    util (res) {
+      if (res.vCPU >= 0.05 and res.TCAM >= 6) then { return res.vCPU; }
+    }
+    when (sweep as t) do {
+      long k = 0;
+      while (k < 6) {
+        string prefix = "10." + k + ".0.0/16";
+        removeTCAMRule(srcIP prefix);
+        addTCAMRule(srcIP prefix, action_rate_limit(quotaBps));
+        k = k + 1;
+      }
+      epochs = epochs + 1;
+      send epochs to harvester;
+    }
+  }
+}
+)ALM";
+
 std::vector<UseCase> build_all() {
   using almanac::Value;
   std::vector<UseCase> out;
@@ -976,6 +1085,24 @@ const std::vector<UseCase>& extension_use_cases() {
     b.machines = {"SketchEntropy"};
     b.seed_loc = count_loc(b.source);
     out.push_back(std::move(b));
+    UseCase c;
+    c.name = "Uplink guard (ext.)";
+    c.source = kUplinkGuard;
+    c.machines = {"UplinkGuard"};
+    c.seed_loc = count_loc(c.source);
+    out.push_back(std::move(c));
+    UseCase d;
+    d.name = "QoS lane counters (ext.)";
+    d.source = kLaneCounter;
+    d.machines = {"LaneCounter"};
+    d.seed_loc = count_loc(d.source);
+    out.push_back(std::move(d));
+    UseCase e;
+    e.name = "Tenant quota sweep (ext.)";
+    e.source = kQuotaSweep;
+    e.machines = {"QuotaSweep"};
+    e.seed_loc = count_loc(e.source);
+    out.push_back(std::move(e));
     return out;
   }();
   return cases;

@@ -11,6 +11,8 @@
 //   - XML round-trips are stable for every shipped use case.
 #include <gtest/gtest.h>
 
+#include "almanac/opt/optimize.h"
+#include "almanac/opt/replay.h"
 #include "almanac/xml.h"
 #include "farm/chaos.h"
 #include "farm/harvesters.h"
@@ -26,6 +28,7 @@
 #include "sim/engine.h"
 #include "sim/fault.h"
 #include "util/rng.h"
+#include "winnow_gen.h"
 
 namespace farm {
 namespace {
@@ -487,6 +490,48 @@ TEST(SketchMergeProperty, MisraGriesMergeKeepsErrorBound) {
     EXPECT_GE(est + left.decremented(), truth[key]);
   }
 }
+
+// --- Winnow soundness over random machines ---------------------------------------
+// 25 sweep seeds x 10 machines = 250 randomized programs. For each: the
+// abstract interpreter must terminate without throwing, and the
+// optimizer's rewrite must be behaviorally invisible — replay_compare
+// drives original and optimized through identical event streams and also
+// checks every concrete register value of the original run against the
+// analysis envelope (the engine's soundness contract, including handlers
+// cut short by runtime EvalErrors).
+
+class WinnowProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WinnowProperty, AnalyzerIsSoundAndOptimizerIsInvisible) {
+  for (int i = 0; i < 10; ++i) {
+    std::uint64_t seed = util::derive_seed(GetParam() * 977 + 13, i);
+    farm::testing::WinnowGen gen(seed);
+    std::string src = gen.machine_source("Gen");
+    SCOPED_TRACE("seed=" + std::to_string(seed) + "\n" + src);
+
+    almanac::Program program;
+    ASSERT_NO_THROW(program = almanac::parse_program(src));
+    auto cm = almanac::compile_machine(program, "Gen");
+
+    almanac::verify::absint::Analysis an;
+    ASSERT_NO_THROW(an = almanac::verify::absint::analyze_machine(cm));
+    EXPECT_TRUE(an.converged());
+
+    auto opt = almanac::opt::optimize_machine(cm);
+    almanac::opt::ReplayOptions ropts;
+    ropts.seed = seed;
+    ropts.streams = 2;
+    ropts.events_per_stream = 24;
+    auto report =
+        almanac::opt::replay_compare(cm, opt.machine, opt.analysis, ropts);
+    EXPECT_TRUE(report.identical) << report.divergence;
+    EXPECT_TRUE(report.intervals_ok) << report.divergence;
+    EXPECT_GT(report.events_run, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WinnowProperty,
+                         ::testing::Range<std::uint64_t>(1, 26));
 
 }  // namespace
 }  // namespace farm

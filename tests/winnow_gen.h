@@ -1,0 +1,176 @@
+// Deterministic random Almanac machine generator for the Winnow property
+// sweeps (tests/property_test.cpp, winnow section).
+//
+// Every generated program parses and compiles; runtime faults (division
+// by zero, checked-arithmetic overflow, bad operand types) are not only
+// allowed but desirable — handlers cut short by a caught EvalError are
+// exactly the executions the abstract interpreter's prefix-env
+// accumulation must stay sound for. The generator is seeded through
+// util::derive_seed, so a failing seed reproduces byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "util/rng.h"
+
+namespace farm::testing {
+
+class WinnowGen {
+ public:
+  explicit WinnowGen(std::uint64_t seed)
+      : rng_(seed),
+        n_regs_(2 + static_cast<int>(rng_.next_below(3))),
+        n_states_(1 + static_cast<int>(rng_.next_below(3))) {}
+
+  // One self-contained machine named `name`.
+  std::string machine_source(const std::string& name) {
+    std::ostringstream out;
+    out << "machine " << name << " {\n";
+    out << "  place all;\n";
+    out << "  poll p = Poll { .ival = 1.0, .what = port ANY };\n";
+    out << "  time t = 2.0;\n";
+    for (int r = 0; r < n_regs_; ++r)
+      out << "  long r" << r << " = " << init_const() << ";\n";
+    for (int s = 0; s < n_states_; ++s) emit_state(out, s);
+    out << "}\n";
+    return out.str();
+  }
+
+ private:
+  util::Rng rng_;
+  int n_regs_;
+  int n_states_;
+  int local_id_ = 0;
+
+  int pick(int n) { return static_cast<int>(rng_.next_below(n)); }
+
+  std::string reg() { return "r" + std::to_string(pick(n_regs_)); }
+
+  std::string init_const() {
+    switch (pick(4)) {
+      case 0: return "0";
+      case 1: return std::to_string(pick(100));
+      case 2: return std::to_string(-pick(50));
+      // Near the int64 rail: arithmetic on this register overflows, which
+      // the checked interpreter turns into a caught EvalError mid-handler.
+      default: return "4611686018427387904";
+    }
+  }
+
+  std::string expr(int depth) {
+    if (depth <= 0 || pick(3) == 0) {
+      switch (pick(3)) {
+        case 0: return std::to_string(pick(64));
+        case 1: return std::to_string(1 + pick(7));  // safe divisor-ish
+        default: return reg();
+      }
+    }
+    switch (pick(6)) {
+      case 0: return "(" + expr(depth - 1) + " + " + expr(depth - 1) + ")";
+      case 1: return "(" + expr(depth - 1) + " - " + expr(depth - 1) + ")";
+      case 2: return "(" + expr(depth - 1) + " * " + expr(depth - 1) + ")";
+      case 3: return "(" + expr(depth - 1) + " / " + expr(depth - 1) + ")";
+      case 4:
+        return "min(" + expr(depth - 1) + ", " + expr(depth - 1) + ")";
+      default:
+        return "max(" + expr(depth - 1) + ", abs(" + expr(depth - 1) + "))";
+    }
+  }
+
+  std::string cmp() {
+    static const char* kOps[] = {"<", "<=", ">", ">=", "==", "<>"};
+    return kOps[pick(6)];
+  }
+
+  void emit_stmt(std::ostringstream& out, const std::string& ind, int depth,
+                 bool allow_transit) {
+    switch (pick(allow_transit ? 7 : 6)) {
+      case 0:
+        out << ind << reg() << " = " << expr(depth) << ";\n";
+        break;
+      case 1: {
+        std::string l = "v" + std::to_string(local_id_++);
+        out << ind << "long " << l << " = " << expr(depth) << ";\n";
+        out << ind << reg() << " = (" << l << " + " << expr(1) << ");\n";
+        break;
+      }
+      case 2: {
+        out << ind << "if (" << expr(depth) << " " << cmp() << " "
+            << expr(depth) << ") then {\n";
+        emit_stmt(out, ind + "  ", depth - 1, allow_transit);
+        if (pick(2) == 0) {
+          out << ind << "} else {\n";
+          emit_stmt(out, ind + "  ", depth - 1, allow_transit);
+        }
+        out << ind << "}\n";
+        break;
+      }
+      case 3: {
+        // Counting loop: the exact pattern the trip-bound prover targets.
+        std::string w = "w" + std::to_string(local_id_++);
+        out << ind << "long " << w << " = 0;\n";
+        out << ind << "while (" << w << " < " << (1 + pick(5)) << ") {\n";
+        emit_stmt(out, ind + "  ", depth - 1, false);
+        out << ind << "  " << w << " = " << w << " + 1;\n";
+        out << ind << "}\n";
+        break;
+      }
+      case 4:
+        out << ind << "log(\"g\" + " << reg() << ");\n";
+        break;
+      case 5: {
+        int f = pick(4);
+        if (pick(2) == 0) {
+          out << ind << "if (is_nil(getTCAMRule(iface_filter(" << f
+              << ")))) then {\n";
+          out << ind << "  addTCAMRule(iface_filter(" << f
+              << "), action_count());\n";
+          out << ind << "}\n";
+        } else {
+          out << ind << "addTCAMRule(iface_filter(" << f
+              << "), action_count());\n";
+        }
+        break;
+      }
+      default:
+        out << ind << "transit s" << pick(n_states_) << ";\n";
+        break;
+    }
+  }
+
+  void emit_body(std::ostringstream& out, const std::string& ind,
+                 bool allow_transit) {
+    int n = 1 + pick(3);
+    for (int i = 0; i < n; ++i) emit_stmt(out, ind, 2, allow_transit);
+  }
+
+  void emit_state(std::ostringstream& out, int s) {
+    out << "  state s" << s << " {\n";
+    if (pick(2) == 0)
+      out << "    util (res) { return res.vCPU; }\n";
+    if (pick(3) == 0) {
+      out << "    when (enter) do {\n";
+      emit_body(out, "      ", true);
+      out << "    }\n";
+    }
+    out << "    when (p as cur) do {\n";
+    if (pick(2) == 0)
+      out << "      " << reg() << " = stats_size(cur);\n";
+    emit_body(out, "      ", true);
+    out << "    }\n";
+    out << "    when (t as now) do {\n";
+    emit_body(out, "      ", true);
+    out << "    }\n";
+    if (pick(3) == 0) {
+      out << "    when (recv long m from harvester) do {\n";
+      out << "      " << reg() << " = m;\n";
+      emit_body(out, "      ", true);
+      out << "    }\n";
+    }
+    out << "  }\n";
+  }
+};
+
+}  // namespace farm::testing
